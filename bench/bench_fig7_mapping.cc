@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment E4 — Figure 7: the Eq. 2 sectioned transformation for
+ * m = 4, t = 2, s = 3, y = 7, and the figure's italic vector
+ * (lambda = 5, A1 = 6, S = 16).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "mapping/analysis.h"
+#include "mapping/xor_sectioned.h"
+
+using namespace cfva;
+
+int
+main()
+{
+    bench::Audit audit(
+        "E4 / Figure 7: Eq. 2 mapping, m=4, t=2, s=3, y=7");
+
+    const XorSectionedMapping map(2, 3, 7);
+    audit.compare("modules", 16u, map.modules());
+    audit.compare("sections", 4u, map.sections());
+    audit.compare("modules per section", 4u,
+                  map.modulesPerSection());
+
+    // Low-address corner of the figure (section 0 rows).
+    const Addr paper_rows[4][4] = {
+        {0, 1, 2, 3},
+        {4, 5, 6, 7},
+        {9, 8, 11, 10},
+        {13, 12, 15, 14},
+    };
+    bool rows_ok = true;
+    TextTable rows({"row", "mod0", "mod1", "mod2", "mod3"});
+    for (unsigned r = 0; r < 4; ++r) {
+        Addr in_module[4];
+        for (Addr a = 4 * r; a < 4 * r + 4; ++a)
+            in_module[map.moduleOf(a)] = a;
+        rows.row(r, in_module[0], in_module[1], in_module[2],
+                 in_module[3]);
+        for (unsigned m = 0; m < 4; ++m)
+            rows_ok &= in_module[m] == paper_rows[r][m];
+    }
+    rows.print(std::cout, "Section 0 layout (first rows)");
+    audit.check("section-0 rows match Figure 7", rows_ok);
+
+    // Blocks of 2^y = 128 addresses rotate through the sections.
+    bool blocks_ok = true;
+    for (Addr a = 0; a < 1024; ++a)
+        blocks_ok &= map.sectionOf(a) == (a >> 7) % 4;
+    audit.check("2^y-address blocks map to sections round robin",
+                blocks_ok);
+
+    // The italic vector: lambda=5, A1=6, S=16 -> subsequences
+    // (0,8,16,24), (1,9,17,25), ... in modules (2,6,10,14) and
+    // (0,4,8,12) alternating (Sec. 4.1).
+    const Stride s(16);
+    TextTable subs({"subsequence", "elements", "modules"});
+    bool subs_ok = true;
+    const ModuleId expect_even[4] = {2, 6, 10, 14};
+    const ModuleId expect_odd[4] = {0, 4, 8, 12};
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        std::string elems, mods;
+        for (std::uint64_t k1 = 0; k1 < 4; ++k1) {
+            const std::uint64_t e = i + k1 * 8;
+            const ModuleId m =
+                map.moduleOf(elementAddress(6, s, e));
+            elems += (k1 ? "," : "") + std::to_string(e);
+            mods += (k1 ? "," : "") + std::to_string(m);
+            subs_ok &=
+                m == (i % 2 == 0 ? expect_even[k1] : expect_odd[k1]);
+        }
+        subs.row(i + 1, elems, mods);
+    }
+    subs.print(std::cout,
+               "Italic vector (A1=6, S=16, L=32): Lemma 4 "
+               "subsequences");
+    audit.check("subsequence modules match Sec. 4.1 text", subs_ok);
+
+    audit.compare("period P_4 of the italic vector",
+                  std::uint64_t{32}, map.period(4));
+
+    return audit.finish();
+}

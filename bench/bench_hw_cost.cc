@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment E12 — Sec. 5D / Figures 5-6: hardware cost of the
+ * address units.  Tabulates the structural inventory of the
+ * in-order, Fig. 5 subsequence, and Fig. 6 conflict-free units for
+ * a range of T, supporting the paper's claim that the extra cost is
+ * "a minor part of the cost of the memory subsystem".
+ */
+
+#include <iostream>
+
+#include "access/hw_cost.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace cfva;
+
+int
+main()
+{
+    bench::Audit audit("E12 / Sec. 5D: address-unit hardware cost");
+
+    TextTable table({"t", "unit", "adders", "addr regs", "counters",
+                     "latches", "queue bits", "arbiter",
+                     "register file"});
+    for (unsigned t = 2; t <= 5; ++t) {
+        for (const AguCost &c :
+             {orderedAguCost(t), subsequenceAguCost(t),
+              outOfOrderAguCost(t)}) {
+            table.row(t, c.label, c.adders, c.addressRegisters,
+                      c.counters, c.latches, c.queueBits(),
+                      c.needsArbiter ? "yes" : "no",
+                      c.registerFile == RegisterFileOrg::Fifo
+                          ? "FIFO" : "random");
+        }
+    }
+    table.print(std::cout, "Structural inventory by configuration");
+
+    // Paper claims, audited for the running T = 8 example:
+    const auto ordered = orderedAguCost(3);
+    const auto sub = subsequenceAguCost(3);
+    const auto ooo = outOfOrderAguCost(3);
+
+    audit.compare("Fig. 5 adders = in-order adders (\"practically "
+                  "the same\")", ordered.adders, sub.adders);
+    audit.compare("Fig. 6 address generators", 2u, ooo.adders);
+    audit.compare("Fig. 6 latches (2 * 2^t)", 16u, ooo.latches);
+    audit.compare("order queue entries (2^t)", 8u,
+                  ooo.queueEntries);
+    audit.check("out-of-order needs an arbiter", ooo.needsArbiter);
+    audit.check("out-of-order needs a random-access register file",
+                ooo.registerFile == RegisterFileOrg::RandomAccess);
+    audit.check("in-order suffices with a FIFO register file",
+                ordered.registerFile == RegisterFileOrg::Fifo);
+
+    // Storage in bits for a 32-bit address space, lambda = 7:
+    // 2*2^t latches of (32 + 7) bits + 2^t queue entries of t bits.
+    const auto bits = ooo.latchBits(32, 7) + ooo.queueBits();
+    std::cout << "  total extra storage at t=3: " << bits
+              << " bits (= " << bits / 8 << " bytes) — minor next "
+              << "to 8 DRAM modules\n";
+    audit.check("extra storage under 1 KiB", bits < 8192);
+
+    return audit.finish();
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Experiment E8 — Sec. 3.1 / [15]: latency bound of the plain
+ * subsequence ordering with q = 2 input and q' = 1 output buffers.
+ *
+ * Claim: latency <= 2T + L, i.e. the excess over the conflict-free
+ * minimum T + L + 1 is at most T - 1 cycles.  Swept over every
+ * in-window family, several sigma and A1, on the matched paper
+ * system; also shows the same stream with q = 1 can do worse, and
+ * the Sec. 3.2 reordering eliminates the excess entirely.
+ */
+
+#include <iostream>
+
+#include "access/ordering.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/config.h"
+#include "mapping/xor_matched.h"
+#include "memsys/memory_system.h"
+#include "theory/theory.h"
+
+using namespace cfva;
+
+int
+main()
+{
+    bench::Audit audit("E8 / Sec. 3.1: subsequence-order latency "
+                       "bound with q=2, q'=1");
+
+    const unsigned t = 3, s = 4, lambda = 7;
+    const XorMatchedMapping map(t, s);
+    const std::uint64_t len = 1u << lambda;
+    const std::uint64_t t_cycles = 1u << t;
+    const std::uint64_t minimum =
+        theory::minimumLatency(len, t_cycles);
+    const std::uint64_t bound =
+        theory::subsequenceLatencyBound(len, t_cycles);
+
+    const MemConfig q1{t, t, 1, 1};
+    const MemConfig q2{t, t, 2, 1};
+
+    TextTable table({"x", "subseq q=1 (max)", "subseq q=2 (max)",
+                     "conflict-free", "bound 2T+L"});
+    bool bound_ok = true;
+    Cycle worst_excess = 0;
+    for (unsigned x = 0; x <= s; ++x) {
+        RunningStats lat_q1, lat_q2;
+        Cycle cf_latency = 0;
+        for (std::uint64_t sigma : {1ull, 3ull, 5ull, 9ull}) {
+            for (Addr a1 : {0ull, 16ull, 123ull}) {
+                const Stride stride = Stride::fromFamily(sigma, x);
+                const auto plan =
+                    makeSubsequencePlan(t, s, stride, len);
+                const auto sub = subsequenceOrder(a1, plan);
+                lat_q1.add(static_cast<double>(
+                    simulateAccess(q1, map, sub).latency));
+                const auto r2 = simulateAccess(q2, map, sub);
+                lat_q2.add(static_cast<double>(r2.latency));
+                bound_ok &= r2.latency <= bound;
+                if (r2.latency > minimum) {
+                    worst_excess = std::max(
+                        worst_excess, r2.latency - minimum);
+                }
+                const auto cf = conflictFreeOrder(a1, plan, map);
+                cf_latency = simulateAccess(q1, map, cf).latency;
+            }
+        }
+        table.row(x, lat_q1.max(), lat_q2.max(), cf_latency, bound);
+    }
+    table.print(std::cout,
+                "Latency by family (minimum 137, bound 144)");
+
+    audit.check("q=2 latency <= 2T+L for every in-window stride",
+                bound_ok);
+    audit.check("worst excess <= T-1 = 7",
+                worst_excess <= t_cycles - 1);
+    std::cout << "  worst measured excess over minimum: "
+              << worst_excess << " cycles\n";
+
+    // The Sec. 3.2 reordering removes the excess with q = 1.
+    const auto plan = makeSubsequencePlan(t, s, Stride(12), len);
+    const auto cf = conflictFreeOrder(5, plan, map);
+    audit.compare("conflict-free ordering latency", minimum,
+                  simulateAccess(q1, map, cf).latency);
+
+    return audit.finish();
+}

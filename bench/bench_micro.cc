@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: throughput of the address
+ * mappings, stream generators, AGU models, and the cycle-accurate
+ * simulator.  These gauge the simulation infrastructure itself (the
+ * paper's results are latency shapes, covered by E1-E13).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "access/agu.h"
+#include "access/ordering.h"
+#include "core/access_unit.h"
+#include "mapping/gf2_linear.h"
+#include "mapping/interleave.h"
+#include "mapping/skew.h"
+#include "mapping/xor_matched.h"
+#include "mapping/xor_sectioned.h"
+#include "memsys/memory_system.h"
+
+namespace {
+
+using namespace cfva;
+
+template <typename Map>
+void
+mappingThroughput(benchmark::State &state, const Map &map)
+{
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.moduleOf(a));
+        a += 12;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_MapInterleave(benchmark::State &state)
+{
+    mappingThroughput(state, LowOrderInterleave(3));
+}
+BENCHMARK(BM_MapInterleave);
+
+void
+BM_MapXorMatched(benchmark::State &state)
+{
+    mappingThroughput(state, XorMatchedMapping(3, 4));
+}
+BENCHMARK(BM_MapXorMatched);
+
+void
+BM_MapXorSectioned(benchmark::State &state)
+{
+    mappingThroughput(state, XorSectionedMapping(3, 4, 9));
+}
+BENCHMARK(BM_MapXorSectioned);
+
+void
+BM_MapSkew(benchmark::State &state)
+{
+    mappingThroughput(state, SkewedMapping(3, 4, 3));
+}
+BENCHMARK(BM_MapSkew);
+
+void
+BM_MapGF2(benchmark::State &state)
+{
+    mappingThroughput(state, GF2LinearMapping::matched(3, 4));
+}
+BENCHMARK(BM_MapGF2);
+
+void
+BM_ConflictFreeOrderGeneration(benchmark::State &state)
+{
+    const XorMatchedMapping map(3, 4);
+    const auto plan = makeSubsequencePlan(
+        3, 4, Stride(12), static_cast<std::uint64_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(conflictFreeOrder(16, plan, map));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConflictFreeOrderGeneration)->Arg(128)->Arg(1024);
+
+void
+BM_OutOfOrderAguStep(benchmark::State &state)
+{
+    const XorMatchedMapping map(3, 4);
+    const auto plan = makeSubsequencePlan(3, 4, Stride(12), 128);
+    auto key = [&map](Addr a) { return map.moduleOf(a); };
+    OutOfOrderAgu agu(16, plan, key);
+    for (auto _ : state) {
+        if (agu.done()) {
+            state.PauseTiming();
+            agu = OutOfOrderAgu(16, plan, key);
+            state.ResumeTiming();
+        }
+        benchmark::DoNotOptimize(agu.step());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OutOfOrderAguStep);
+
+void
+BM_SimulateConflictFreeAccess(benchmark::State &state)
+{
+    const VectorAccessUnit unit(paperMatchedExample());
+    const auto plan = unit.plan(16, Stride(12), 128);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.execute(plan));
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SimulateConflictFreeAccess);
+
+void
+BM_SimulateConflictedAccess(benchmark::State &state)
+{
+    const VectorAccessUnit unit(paperMatchedExample());
+    const auto plan = unit.plan(16, Stride(32), 128);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.execute(plan));
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SimulateConflictedAccess);
+
+void
+BM_PlanFullAccess(benchmark::State &state)
+{
+    const VectorAccessUnit unit(paperMatchedExample());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.plan(16, Stride(12), 128));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanFullAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses.
+ *
+ * Every bench binary reproduces one table or figure of the paper:
+ * it prints the paper's claimed values next to the values measured
+ * on this implementation, and exits nonzero if a PAPER/MEASURED
+ * check it declares as exact fails — so the bench suite doubles as
+ * a reproduction audit.
+ */
+
+#ifndef CFVA_BENCH_BENCH_UTIL_H
+#define CFVA_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+
+namespace cfva::bench {
+
+/** Tracks pass/fail across the checks of one experiment. */
+class Audit
+{
+  public:
+    explicit Audit(std::string experiment)
+        : experiment_(std::move(experiment))
+    {
+        std::cout << "=== " << experiment_ << " ===\n";
+    }
+
+    /** Records one named check. */
+    void
+    check(const std::string &what, bool ok)
+    {
+        std::cout << (ok ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+        if (!ok)
+            ++failures_;
+    }
+
+    /** Prints a value comparison and records equality. */
+    template <typename A, typename B>
+    void
+    compare(const std::string &what, const A &paper, const B &measured)
+    {
+        const bool ok = paper == static_cast<A>(measured);
+        std::cout << (ok ? "  [ok]   " : "  [FAIL] ") << what
+                  << ": paper=" << paper << " measured=" << measured
+                  << "\n";
+        if (!ok)
+            ++failures_;
+    }
+
+    /** Final verdict; use as the process exit code. */
+    int
+    finish() const
+    {
+        std::cout << "=== " << experiment_ << ": "
+                  << (failures_ == 0 ? "REPRODUCED" : "MISMATCH")
+                  << " (" << failures_ << " failed checks) ===\n\n";
+        return failures_ == 0 ? 0 : 1;
+    }
+
+  private:
+    std::string experiment_;
+    int failures_ = 0;
+};
+
+} // namespace cfva::bench
+
+#endif // CFVA_BENCH_BENCH_UTIL_H

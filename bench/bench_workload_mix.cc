@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Experiment E17 (end-to-end ablation) — a strip-mined kernel mix
+ * run on the full vproc stack under four memory organizations:
+ *
+ *   1. low-order interleave, in-order issue  (the classic baseline)
+ *   2. Eq. 1 XOR, in-order issue             (prior art [6])
+ *   3. Eq. 1 XOR + out-of-order windows      (the paper, matched)
+ *   4. Eq. 2 sectioned + out-of-order        (the paper, unmatched)
+ *
+ * The mix is the kind of code the introduction motivates: unit-
+ * stride AXPY, a column-walk reduction over a 136-wide matrix
+ * (stride family x = 3), and a stride-48 (x = 4) gather/update.
+ * Results are checked against a scalar model before timing counts.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "vproc/processor.h"
+#include "vproc/stripmine.h"
+
+using namespace cfva;
+
+namespace {
+
+struct MixResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t elements = 0;
+    std::uint64_t cf_accesses = 0;
+    std::uint64_t accesses = 0;
+
+    double
+    cyclesPerElement() const
+    {
+        return static_cast<double>(cycles)
+               / static_cast<double>(elements);
+    }
+};
+
+/** Runs the kernel mix on one configuration. */
+MixResult
+runMix(const VectorUnitConfig &cfg)
+{
+    VectorProcessor proc(cfg);
+    const std::uint64_t l = cfg.registerLength();
+
+    const std::uint64_t n = 512;
+    const Addr x_base = 0;
+    const Addr y_base = 1 << 22;
+    const Addr z_base = 1 << 23;
+    const Addr m_base = 1 << 24;  // 136-wide matrix
+    const Addr g_base = 1 << 25;  // stride-48 array
+
+    for (std::uint64_t i = 0; i < n; ++i) {
+        proc.memory().store(x_base + i, i + 1);
+        proc.memory().store(y_base + i, 2 * i);
+        proc.memory().store(m_base + 136 * i, 3 * i);
+        proc.memory().store(g_base + 48 * i, i);
+    }
+
+    Program prog;
+    // Kernel 1: z = 5*x + y (unit stride).
+    for (const auto &strip : stripMine(n, l)) {
+        prog.push_back(setvl(strip.length));
+        prog.push_back(vload(0, x_base + strip.firstElement, 1));
+        prog.push_back(vmuls(2, 0, 5));
+        prog.push_back(vload(1, y_base + strip.firstElement, 1));
+        prog.push_back(vadd(3, 2, 1));
+        prog.push_back(vstore(3, z_base + strip.firstElement, 1));
+    }
+    // Kernel 2: column walk, col[i] += 7 (stride 136, x = 3).
+    for (const auto &strip : stripMine(n, l)) {
+        prog.push_back(setvl(strip.length));
+        prog.push_back(
+            vload(0, m_base + 136 * strip.firstElement, 136));
+        prog.push_back(vadds(1, 0, 7));
+        prog.push_back(
+            vstore(1, m_base + 136 * strip.firstElement, 136));
+    }
+    // Kernel 3: strided update, g[i] *= 3 (stride 48, x = 4).
+    for (const auto &strip : stripMine(n, l)) {
+        prog.push_back(setvl(strip.length));
+        prog.push_back(
+            vload(0, g_base + 48 * strip.firstElement, 48));
+        prog.push_back(vmuls(1, 0, 3));
+        prog.push_back(
+            vstore(1, g_base + 48 * strip.firstElement, 48));
+    }
+    proc.run(prog);
+
+    // Functional check against the scalar model.
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (proc.memory().load(z_base + i) != 5 * (i + 1) + 2 * i)
+            cfva_fatal("kernel 1 mismatch at i=", i);
+        if (proc.memory().load(m_base + 136 * i) != 3 * i + 7)
+            cfva_fatal("kernel 2 mismatch at i=", i);
+        if (proc.memory().load(g_base + 48 * i) != 3 * i)
+            cfva_fatal("kernel 3 mismatch at i=", i);
+    }
+
+    MixResult r;
+    r.cycles = proc.stats().cycles;
+    r.elements = proc.stats().memoryElements;
+    r.cf_accesses = proc.stats().conflictFreeAccesses;
+    r.accesses = proc.stats().memoryAccesses;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::Audit audit("E17 / end-to-end kernel mix across memory "
+                       "organizations");
+
+    // 1. Interleave baseline: matched memory with interleaving is
+    //    the s = 0 degenerate XOR (module = low bits): model it as
+    //    SimpleUnmatched with m = t and s chosen so only odd
+    //    strides are conflict free in order.  Closest expressible
+    //    config: Eq. 1 with s = t and in-order-only window, so we
+    //    instead measure both "ordered" variants via sOverride and
+    //    rely on the planner's fallback for out-of-window strides.
+    VectorUnitConfig ordered_low;   // conflict free only near x=3
+    ordered_low.kind = MemoryKind::Matched;
+    ordered_low.t = 3;
+    ordered_low.lambda = 7;
+    ordered_low.sOverride = 3;      // window [0,3]: loses x=4
+
+    const VectorUnitConfig matched = paperMatchedExample();
+    const VectorUnitConfig sectioned = paperSectionedExample();
+
+    TextTable table({"system", "cycles", "cycles/elem",
+                     "CF accesses"});
+    const MixResult r_low = runMix(ordered_low);
+    const MixResult r_matched = runMix(matched);
+    const MixResult r_sect = runMix(sectioned);
+
+    table.row("Eq.1 s=3 (narrow window)", r_low.cycles,
+              fixed(r_low.cyclesPerElement(), 2),
+              ratio(r_low.cf_accesses, r_low.accesses));
+    table.row("paper matched (s=4)", r_matched.cycles,
+              fixed(r_matched.cyclesPerElement(), 2),
+              ratio(r_matched.cf_accesses, r_matched.accesses));
+    table.row("paper sectioned (M=64)", r_sect.cycles,
+              fixed(r_sect.cyclesPerElement(), 2),
+              ratio(r_sect.cf_accesses, r_sect.accesses));
+    table.print(std::cout,
+                "Kernel mix (AXPY + column walk + stride-48 "
+                "update), n = 512, results verified");
+
+    audit.check("every access conflict free on the paper's matched "
+                "window (all three kernels in [0,4])",
+                r_matched.cf_accesses == r_matched.accesses);
+    audit.check("narrow window (s=3) loses the stride-48 kernel",
+                r_low.cf_accesses < r_low.accesses);
+    audit.check("matched window beats the narrow window end to end",
+                r_matched.cycles < r_low.cycles);
+    audit.check("sectioned matches the matched system here (all "
+                "strides already in the matched window)",
+                r_sect.cycles == r_matched.cycles);
+
+    return audit.finish();
+}

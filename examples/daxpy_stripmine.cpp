@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Strip-mined AXPY on the full vector-processor substrate — the
+ * kind of kernel the paper's introduction motivates.
+ *
+ * Computes z[i] = a*x[i] + y[i] for n = 1000 elements where x is
+ * read with a non-unit stride (a column walk through a row-major
+ * matrix).  The compiler role (strip mining + short-vector split)
+ * is played by vproc/stripmine.h; timing comes from the
+ * cycle-accurate memory model underneath.
+ *
+ * Run: ./daxpy_stripmine
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "vproc/processor.h"
+#include "vproc/stripmine.h"
+
+using namespace cfva;
+
+namespace {
+
+/** Runs the kernel with a given x-stride and reports timing. */
+ExecStats
+runAxpy(const VectorUnitConfig &cfg, std::uint64_t n,
+        std::uint64_t stride_x)
+{
+    VectorProcessor proc(cfg);
+    const Addr base_x = 0;
+    const Addr base_y = 1 << 22;
+    const Addr base_z = 1 << 23;
+
+    for (std::uint64_t i = 0; i < n; ++i) {
+        proc.memory().store(base_x + stride_x * i, 2 * i + 1);
+        proc.memory().store(base_y + i, 7 * i);
+    }
+
+    const auto prog = emitAxpy(3, n, cfg.registerLength(), base_x,
+                               stride_x, base_y, 1, base_z, 1);
+    proc.run(prog);
+
+    // Verify against the scalar model before trusting the timing.
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t expect = 3 * (2 * i + 1) + 7 * i;
+        if (proc.memory().load(base_z + i) != expect) {
+            std::cerr << "MISMATCH at i=" << i << "\n";
+            std::exit(1);
+        }
+    }
+    return proc.stats();
+}
+
+} // namespace
+
+int
+main()
+{
+    const VectorUnitConfig cfg = paperMatchedExample();
+    const std::uint64_t n = 1000;
+
+    std::cout << "z[i] = 3*x[i] + y[i], n = " << n
+              << ", strip-mined into " << stripMine(n, 128).size()
+              << " strips of <= 128 elements\n"
+              << "System: " << cfg.describe() << "\n\n";
+
+    TextTable table({"x-stride", "family", "total cycles",
+                     "mem cycles", "stalls", "CF accesses",
+                     "cycles/elem"});
+    for (std::uint64_t stride_x : {1ull, 12ull, 24ull, 32ull, 64ull}) {
+        const auto st = runAxpy(cfg, n, stride_x);
+        table.row(stride_x, Stride(stride_x).family(), st.cycles,
+                  st.memoryCycles, st.stallCycles,
+                  st.conflictFreeAccesses,
+                  fixed(static_cast<double>(st.cycles)
+                            / static_cast<double>(n),
+                        2));
+    }
+    table.print(std::cout, "AXPY timing by x-stride (results "
+                           "verified against scalar model)");
+
+    std::cout << "\nStrides with family x <= 4 run at one element "
+                 "per cycle per access;\nx = 5 (stride 32) halves "
+                 "throughput, x = 6 (stride 64) quarters it —\n"
+                 "exactly the window the paper widens.\n";
+    return 0;
+}

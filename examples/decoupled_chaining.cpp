@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Decoupled access/execute vs chaining (paper Figure 1 + Sec. 5F).
+ *
+ * A LOAD followed by a dependent vector multiply, three ways:
+ *   1. decoupled:  execute waits for the whole register;
+ *   2. chained:    execute consumes elements in the deterministic
+ *                  delivery order of the conflict-free LOAD;
+ *   3. chained on a conflicted LOAD: why the paper restricts
+ *                  chaining to conflict-free strides.
+ *
+ * Run: ./decoupled_chaining
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "core/access_unit.h"
+#include "core/chaining.h"
+
+using namespace cfva;
+
+int
+main()
+{
+    const VectorAccessUnit unit(paperMatchedExample());
+    const std::uint64_t len = unit.config().registerLength();
+    const Cycle exec_latency = 6; // deep multiply pipeline
+
+    std::cout << "LOAD v0, [A1 + S*i]; VMUL v1, v0, v0 — total time "
+                 "to the last product,\nfor in-window (S=12) and "
+                 "out-of-window (S=32) strides.\n\n";
+
+    TextTable table({"stride", "load latency", "deterministic",
+                     "decoupled total", "chained total", "saved"});
+    for (std::uint64_t sv : {12ull, 32ull}) {
+        const auto r = unit.access(16, Stride(sv), len);
+        const auto rep = chainingModel(r, exec_latency);
+        table.row(sv, r.latency, rep.chainable ? "yes" : "no",
+                  rep.decoupledTotal, rep.chainedTotal, rep.saved());
+    }
+    table.print(std::cout, "Decoupled vs chained execution");
+
+    std::cout
+        << "\nWith the conflict-free ordering the element arrival\n"
+           "schedule is known at issue time (one per cycle, in the\n"
+           "order the AGU itself generated), so the multiply can\n"
+           "follow one cycle behind the LOAD: chaining costs no\n"
+           "hardware speculation.  For the conflicted stride the\n"
+           "arrivals are bursty and stall-ridden; a chained consumer\n"
+           "would have to track them dynamically, which is the very\n"
+           "complication the paper's Sec. 5F sidesteps.\n";
+
+    // Show the first few arrivals for both cases.
+    for (std::uint64_t sv : {12ull, 32ull}) {
+        const auto r = unit.access(16, Stride(sv), len);
+        std::cout << "\nS=" << sv << " first 12 deliveries "
+                  << "(element@cycle):";
+        for (std::size_t i = 0; i < 12; ++i) {
+            std::cout << " " << r.deliveries[i].element << "@"
+                      << r.deliveries[i].delivered;
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

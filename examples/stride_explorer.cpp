@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Stride explorer: sweep strides 1..64 over the paper's matched and
+ * unmatched systems and tabulate family, chosen policy, measured
+ * latency, and conflict-freedom — the "which strides are safe"
+ * cheat sheet a user of such a memory system would want.
+ *
+ * Run: ./stride_explorer [max_stride]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/access_unit.h"
+#include "theory/theory.h"
+
+using namespace cfva;
+
+namespace {
+
+void
+explore(const char *title, const VectorAccessUnit &unit,
+        std::uint64_t max_stride)
+{
+    const std::uint64_t len = unit.config().registerLength();
+    const std::uint64_t minimum = theory::minimumLatency(
+        len, unit.config().serviceCycles());
+
+    TextTable table({"S", "sigma", "x", "policy", "latency",
+                     "overhead", "conflict-free"});
+    std::uint64_t cf_count = 0;
+    for (std::uint64_t sv = 1; sv <= max_stride; ++sv) {
+        const Stride s(sv);
+        const auto plan = unit.plan(5, s, len);
+        const auto r = unit.execute(plan);
+        table.row(sv, s.sigma(), s.family(), to_string(plan.policy),
+                  r.latency, r.latency - minimum,
+                  r.conflictFree ? "yes" : "no");
+        cf_count += r.conflictFree ? 1 : 0;
+    }
+    table.print(std::cout, title);
+    std::cout << "conflict free: " << cf_count << "/" << max_stride
+              << " strides (theory predicts ~"
+              << fixed(theory::windowFraction(unit.window())
+                           * static_cast<double>(max_stride), 1)
+              << ")\n\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t max_stride =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+
+    const VectorAccessUnit matched(paperMatchedExample());
+    explore("Matched memory: M = T = 8, L = 128, s = 4", matched,
+            max_stride);
+
+    const VectorAccessUnit sectioned(paperSectionedExample());
+    explore("Unmatched memory: M = 64, T = 8, L = 128, s = 4, y = 9",
+            sectioned, max_stride);
+
+    std::cout << "Note how every stride whose family x (trailing "
+                 "zeros of S) falls inside\nthe window is served at "
+                 "minimum latency regardless of sigma or the\n"
+                 "starting address.\n";
+    return 0;
+}

@@ -1,0 +1,123 @@
+#include "access/agu.h"
+
+#include "common/logging.h"
+
+namespace cfva {
+
+SubsequenceAgu::SubsequenceAgu(Addr a1, const SubsequencePlan &plan)
+    : plan_(plan), regA_(a1), regSub_(a1), elemA_(0), elemSub_(0)
+{
+    cfva_assert(plan.length > 0, "empty plan");
+}
+
+AguOutput
+SubsequenceAgu::step()
+{
+    cfva_assert(!done(), "AGU stepped past the end of the vector");
+    const AguOutput out{regA_, elemA_};
+
+    // Fig. 4 control: advance the datapath for the next cycle.
+    if (cntI_ + 1 < plan_.elemsPerSubseq) {
+        // Inner loop: A += sigma*2^w, register number += 2^{w-x}.
+        regA_ += plan_.innerIncrement;
+        elemA_ += plan_.elementStep;
+        ++cntI_;
+    } else if (cntJ_ + 1 < plan_.subseqPerPeriod) {
+        // Next subsequence: SUB += sigma*2^x in parallel with
+        // A = SUB + sigma*2^x (both observe the old SUB).
+        cntI_ = 0;
+        ++cntJ_;
+        regSub_ += plan_.subseqIncrement;
+        regA_ = regSub_;
+        elemSub_ += 1;
+        elemA_ = elemSub_;
+    } else {
+        // Period seam: SUB = A + sigma*2^x and A = A + sigma*2^x,
+        // where A is the address issued this cycle (the last element
+        // of the period is sigma*2^x below the first of the next).
+        cntI_ = 0;
+        cntJ_ = 0;
+        ++cntK_;
+        regSub_ = out.addr + plan_.subseqIncrement;
+        regA_ = regSub_;
+        elemSub_ = out.element + 1;
+        elemA_ = elemSub_;
+    }
+
+    ++issued_;
+    return out;
+}
+
+OutOfOrderAgu::OutOfOrderAgu(Addr a1, const SubsequencePlan &plan,
+                             std::function<ModuleId(Addr)> key)
+    : plan_(plan), key_(std::move(key)), gen1_(a1, plan),
+      gen2_(a1, plan)
+{
+    const std::uint64_t t_elems = plan_.elemsPerSubseq;
+    cfva_assert(plan_.length >= t_elems, "plan shorter than 2^t");
+    gen2Limit_ = plan_.length - t_elems;
+    banks_[0].resize(t_elems);
+    banks_[1].resize(t_elems);
+    order_.reserve(t_elems);
+
+    // Generator 2 starts at the second subsequence.  In hardware its
+    // A/SUB registers are initialized from compiler-provided values
+    // (A1 + sigma*2^x and the matching counters); the model obtains
+    // the same state by fast-forwarding a copy of the generator.
+    for (std::uint64_t i = 0; i < t_elems && gen2Limit_ > 0; ++i)
+        gen2_.step();
+}
+
+void
+OutOfOrderAgu::latch(const AguOutput &out)
+{
+    // Global position of this element in the subsequence-order
+    // stream; it belongs to subsequence pos / 2^t and alternating
+    // banks hold consecutive subsequences.
+    const std::uint64_t pos = plan_.elemsPerSubseq + gen2Count_;
+    const std::uint64_t bank = (pos / plan_.elemsPerSubseq) % 2;
+    const ModuleId kappa = key_(out.addr);
+    cfva_assert(kappa < plan_.elemsPerSubseq,
+                "reorder key ", kappa, " out of range");
+    Slot &slot = banks_[bank][kappa];
+    cfva_assert(!slot.valid, "latch collision in bank ", bank,
+                " key ", kappa,
+                " — subsequence does not cover keys exactly once");
+    slot = {out, true};
+    ++gen2Count_;
+}
+
+AguOutput
+OutOfOrderAgu::step()
+{
+    cfva_assert(!done(), "AGU stepped past the end of the vector");
+    const std::uint64_t t_elems = plan_.elemsPerSubseq;
+
+    AguOutput out;
+    if (issued_ < t_elems) {
+        // First subsequence: issue straight from generator 1 and
+        // record its temporal distribution in the order queue.
+        out = gen1_.step();
+        order_.push_back(key_(out.addr));
+    } else {
+        // Later subsequences: issue from the active latch bank in
+        // the first subsequence's key order.
+        const std::uint64_t pos = issued_ % t_elems;
+        const std::uint64_t bank = (issued_ / t_elems) % 2;
+        Slot &slot = banks_[bank][order_[pos]];
+        cfva_assert(slot.valid, "latch underflow: bank ", bank,
+                    " key ", order_[pos], " empty at issue ", issued_);
+        slot.valid = false;
+        out = slot.out;
+    }
+
+    // Generator 2 computes one address per cycle, one subsequence
+    // ahead of issue, into the inactive bank.
+    if (gen2Count_ < gen2Limit_)
+        latch(gen2_.step());
+
+    ++issued_;
+    return out;
+}
+
+} // namespace cfva

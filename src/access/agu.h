@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Address-generation-unit hardware models (paper Figures 4, 5, 6).
+ *
+ * Two cycle-stepped structural models:
+ *
+ *  - SubsequenceAgu: the Fig. 5 datapath executing the Fig. 4 loop
+ *    nest — registers A and SUB, one address adder, the register-
+ *    number path, and the I/J/K counters.  Emits one address per
+ *    cycle in the Sec. 3.1 subsequence order.
+ *
+ *  - OutOfOrderAgu: the Fig. 6 architecture for the conflict-free
+ *    ordering — two address generators (one active only during the
+ *    first 2^t cycles), a double bank of 2 * 2^t latches indexed by
+ *    reorder key, and the order queue holding the temporal
+ *    distribution of the first subsequence.  Emits one address per
+ *    cycle in the Sec. 3.2 / 4.2 conflict-free order.
+ *
+ * The test suite asserts both models reproduce the pure generators
+ * in ordering.h address-for-address, which is the paper's claim that
+ * the hardware achieves the schedule with "complexity similar to the
+ * address generator for access in order".
+ */
+
+#ifndef CFVA_ACCESS_AGU_H
+#define CFVA_ACCESS_AGU_H
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "access/ordering.h"
+
+namespace cfva {
+
+/** One issued address (plus its register-file element index). */
+struct AguOutput
+{
+    Addr addr = 0;
+    std::uint64_t element = 0;
+
+    bool operator==(const AguOutput &o) const = default;
+};
+
+/**
+ * Fig. 5 datapath: subsequence-order address generation.
+ *
+ * The compiler preloads sigma*2^x, sigma*2^w and the trip counts
+ * (the paper's Sec. 3.1 note); each step() is one processor cycle
+ * and performs exactly one address addition, mirroring the single
+ * adder in the figure.
+ */
+class SubsequenceAgu
+{
+  public:
+    SubsequenceAgu(Addr a1, const SubsequencePlan &plan);
+
+    /** Issues the next address; one call = one cycle. */
+    AguOutput step();
+
+    /** True when all L addresses have been issued. */
+    bool done() const { return issued_ == plan_.length; }
+
+    /** Addresses issued so far. */
+    std::uint64_t issued() const { return issued_; }
+
+    const SubsequencePlan &plan() const { return plan_; }
+
+  private:
+    SubsequencePlan plan_;
+
+    // Datapath registers (Fig. 5 left: addresses; right: register
+    // numbers, same structure with the increments replaced by the
+    // element steps).
+    Addr regA_;
+    Addr regSub_;
+    std::uint64_t elemA_;
+    std::uint64_t elemSub_;
+
+    // Loop counters (Fig. 5 bottom); counted up from 0 here, the
+    // figure's down-counters are the mirror image.
+    std::uint64_t cntI_ = 0;
+    std::uint64_t cntJ_ = 0;
+    std::uint64_t cntK_ = 0;
+
+    std::uint64_t issued_ = 0;
+};
+
+/**
+ * Fig. 6 architecture: conflict-free out-of-order issue.
+ *
+ * Generator 1 produces the first subsequence, issued directly while
+ * its reorder keys are pushed into the order queue.  Generator 2
+ * runs every cycle producing the rest of the stream one subsequence
+ * ahead of issue, filling the inactive latch bank by key.  From
+ * cycle 2^t on, issue reads the active bank in order-queue order.
+ * Total issue time is exactly L cycles — no bubbles — which is what
+ * makes the whole access conflict free at minimum latency.
+ */
+class OutOfOrderAgu
+{
+  public:
+    /**
+     * @param a1    initial address
+     * @param plan  Fig. 4 plan (makeSubsequencePlan)
+     * @param key   reorder key: module number for matched memory,
+     *              supermodule/section for the Eq. 2 mapping
+     *              (Sec. 4.2); must map onto [0, 2^t)
+     */
+    OutOfOrderAgu(Addr a1, const SubsequencePlan &plan,
+                  std::function<ModuleId(Addr)> key);
+
+    /** Issues the next address; one call = one cycle. */
+    AguOutput step();
+
+    bool done() const { return issued_ == plan_.length; }
+    std::uint64_t issued() const { return issued_; }
+
+    /**
+     * The stored temporal distribution of the first subsequence
+     * (valid after the first 2^t steps).
+     */
+    const std::vector<ModuleId> &orderQueue() const { return order_; }
+
+  private:
+    struct Slot
+    {
+        AguOutput out;
+        bool valid = false;
+    };
+
+    void latch(const AguOutput &out);
+
+    SubsequencePlan plan_;
+    std::function<ModuleId(Addr)> key_;
+
+    SubsequenceAgu gen1_; //!< first subsequence, first 2^t cycles
+    SubsequenceAgu gen2_; //!< rest of the stream, one subseq ahead
+    std::uint64_t gen2Limit_;  //!< elements gen2 must produce
+    std::uint64_t gen2Count_ = 0;
+
+    /** 2 * 2^t latches: two banks indexed by reorder key. */
+    std::array<std::vector<Slot>, 2> banks_;
+
+    std::vector<ModuleId> order_;
+    std::uint64_t issued_ = 0;
+};
+
+/**
+ * Drives an AGU to completion and collects its stream; convenience
+ * for tests and benches.
+ */
+template <typename Agu>
+std::vector<Request>
+drainAgu(Agu &agu)
+{
+    std::vector<Request> stream;
+    while (!agu.done()) {
+        const AguOutput out = agu.step();
+        stream.push_back({out.addr, out.element});
+    }
+    return stream;
+}
+
+} // namespace cfva
+
+#endif // CFVA_ACCESS_AGU_H

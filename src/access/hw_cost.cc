@@ -1,0 +1,54 @@
+#include "access/hw_cost.h"
+
+namespace cfva {
+
+AguCost
+orderedAguCost(unsigned /* t */)
+{
+    AguCost c;
+    c.label = "in-order";
+    c.adders = 1;           // A += S
+    c.addressRegisters = 1; // A
+    c.counters = 1;         // element count
+    c.latches = 0;
+    c.queueEntries = 0;
+    c.queueBitsPerEntry = 0;
+    c.needsArbiter = false;
+    c.registerFile = RegisterFileOrg::Fifo;
+    return c;
+}
+
+AguCost
+subsequenceAguCost(unsigned /* t */)
+{
+    AguCost c;
+    c.label = "subsequence (Fig. 5)";
+    c.adders = 1;           // shared A/SUB adder (Fig. 5 datapath)
+    c.addressRegisters = 2; // A and SUB
+    c.counters = 3;         // I, J, K
+    c.latches = 0;
+    c.queueEntries = 0;
+    c.queueBitsPerEntry = 0;
+    c.needsArbiter = false;
+    c.registerFile = RegisterFileOrg::RandomAccess;
+    return c;
+}
+
+AguCost
+outOfOrderAguCost(unsigned t)
+{
+    const unsigned t_elems = 1u << t;
+    AguCost c;
+    c.label = "conflict-free (Fig. 6)";
+    c.adders = 2;           // two generators (one idles after 2^t)
+    c.addressRegisters = 4; // A and SUB in each generator
+    c.counters = 3;         // shared loop control
+    c.latches = 2 * t_elems; // double bank, "2*2^t latches" (4.2)
+    c.queueEntries = t_elems; // first subsequence's distribution
+    c.queueBitsPerEntry = t;  // one module/key number per entry
+    c.needsArbiter = true;
+    c.registerFile = RegisterFileOrg::RandomAccess;
+    return c;
+}
+
+} // namespace cfva

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Structural cost accounting for the address unit (paper Sec. 5D).
+ *
+ * The paper argues the out-of-order address unit costs little more
+ * than the in-order one: one extra address generator, 2 * 2^t
+ * latches, a 2^t-entry order queue of t-bit module numbers, an
+ * arbiter, and a random-access (rather than FIFO) vector register
+ * write port.  This module makes those counts explicit so the
+ * bench_hw_cost experiment can tabulate ordered vs out-of-order
+ * hardware side by side.
+ */
+
+#ifndef CFVA_ACCESS_HW_COST_H
+#define CFVA_ACCESS_HW_COST_H
+
+#include <cstdint>
+#include <string>
+
+namespace cfva {
+
+/** Register-file write-port organization (Sec. 5D last paragraph). */
+enum class RegisterFileOrg
+{
+    Fifo,         //!< in-order return: FIFO write suffices
+    RandomAccess, //!< out-of-order return: indexed write required
+};
+
+/** Component counts of one address-unit configuration. */
+struct AguCost
+{
+    std::string label;
+
+    unsigned adders = 0;           //!< address adders
+    unsigned addressRegisters = 0; //!< A / SUB style registers
+    unsigned counters = 0;         //!< loop counters (I, J, K)
+    unsigned latches = 0;          //!< address latches (Fig. 6 banks)
+    unsigned queueEntries = 0;     //!< order-queue entries
+    unsigned queueBitsPerEntry = 0; //!< t bits per module number
+    bool needsArbiter = false;     //!< issue-side arbiter (Fig. 6)
+    RegisterFileOrg registerFile = RegisterFileOrg::Fifo;
+
+    /** Total order-queue storage in bits. */
+    unsigned
+    queueBits() const
+    {
+        return queueEntries * queueBitsPerEntry;
+    }
+
+    /** Total address-latch storage in bits for @p addrBits wide
+     *  addresses (plus element indices of @p elemBits). */
+    std::uint64_t
+    latchBits(unsigned addrBits, unsigned elemBits) const
+    {
+        return std::uint64_t{latches} * (addrBits + elemBits);
+    }
+};
+
+/**
+ * Cost of the conventional in-order address generator: one adder,
+ * one address register, one trip counter.
+ */
+AguCost orderedAguCost(unsigned t);
+
+/**
+ * Cost of the Fig. 5 subsequence-order generator: still one adder
+ * for addresses (plus the register-number path), the SUB register,
+ * and the I/J/K counters — the paper's "practically the same"
+ * claim.
+ */
+AguCost subsequenceAguCost(unsigned t);
+
+/**
+ * Cost of the Fig. 6 conflict-free unit: two generators, 2 * 2^t
+ * latches, the order queue, and the arbiter; the register file must
+ * be random access.
+ */
+AguCost outOfOrderAguCost(unsigned t);
+
+} // namespace cfva
+
+#endif // CFVA_ACCESS_HW_COST_H

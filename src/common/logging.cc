@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace cfva {
+
+namespace {
+
+/**
+ * Thrown instead of aborting when a test installs throw-on-panic mode
+ * (see ScopedPanicThrow in tests).  Production builds abort.
+ */
+bool throwOnPanic = false;
+
+} // namespace
+
+/** Test hook: make panic/fatal throw std::runtime_error instead. */
+void
+setThrowOnPanic(bool enable)
+{
+    throwOnPanic = enable;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    if (throwOnPanic)
+        throw std::runtime_error("panic: " + msg);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    if (throwOnPanic)
+        throw std::runtime_error("fatal: " + msg);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace cfva

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (a CFVA bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits(1).
+ * warn()   — something is suspicious but simulation can continue.
+ */
+
+#ifndef CFVA_COMMON_LOGGING_H
+#define CFVA_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace cfva {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/**
+ * Test hook: when enabled, panic/fatal throw std::runtime_error
+ * instead of terminating, so death paths are unit-testable.
+ */
+void setThrowOnPanic(bool enable);
+
+namespace detail {
+
+/** Builds a message from stream-insertable pieces. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+} // namespace cfva
+
+/** Aborts with a message: use for internal invariant violations. */
+#define cfva_panic(...) \
+    ::cfva::panicImpl(__FILE__, __LINE__, \
+                      ::cfva::detail::concat(__VA_ARGS__))
+
+/** Exits with a message: use for invalid user configuration. */
+#define cfva_fatal(...) \
+    ::cfva::fatalImpl(__FILE__, __LINE__, \
+                      ::cfva::detail::concat(__VA_ARGS__))
+
+/** Prints a warning and continues. */
+#define cfva_warn(...) \
+    ::cfva::warnImpl(__FILE__, __LINE__, \
+                     ::cfva::detail::concat(__VA_ARGS__))
+
+/** Panics when @p cond is false; the message explains the invariant. */
+#define cfva_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::cfva::panicImpl(__FILE__, __LINE__, \
+                ::cfva::detail::concat("assertion '" #cond "' failed: ", \
+                                       __VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // CFVA_COMMON_LOGGING_H

@@ -1,0 +1,80 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cfva {
+
+void
+RunningStats::add(double v)
+{
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+RunningStats::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double m = sum_ / n;
+    return std::max(0.0, (sumSq_ - n * m * m) / (n - 1.0));
+}
+
+void
+RunningStats::merge(const RunningStats &o)
+{
+    count_ += o.count_;
+    sum_ += o.sum_;
+    sumSq_ += o.sumSq_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0)
+{
+    cfva_assert(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::add(std::uint64_t v)
+{
+    if (v < counts_.size())
+        ++counts_[v];
+    else
+        ++overflow_;
+    ++total_;
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    cfva_assert(i < counts_.size(), "bucket ", i, " out of range");
+    return counts_[i];
+}
+
+} // namespace cfva

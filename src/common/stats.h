@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Small statistics accumulators for the simulator and benches.
+ */
+
+#ifndef CFVA_COMMON_STATS_H
+#define CFVA_COMMON_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cfva {
+
+/** Running min/max/mean over a stream of samples. */
+class RunningStats
+{
+  public:
+    /** Adds one sample. */
+    void add(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** Unbiased sample variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** Merges another accumulator into this one. */
+    void merge(const RunningStats &o);
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bucket histogram over nonnegative integers; used for
+ * per-module occupancy and conflict-distance distributions.
+ */
+class Histogram
+{
+  public:
+    /** Creates a histogram with buckets 0..@p buckets-1 + overflow. */
+    explicit Histogram(std::size_t buckets);
+
+    /** Counts one sample; values >= buckets go to the overflow bin. */
+    void add(std::uint64_t v);
+
+    std::uint64_t bucket(std::size_t i) const;
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    std::size_t buckets() const { return counts_.size(); }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Deterministic xorshift64* PRNG for property tests and workload
+ * generation (no libc rand, reproducible across platforms).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform odd value in [1, bound). */
+    std::uint64_t
+    oddBelow(std::uint64_t bound)
+    {
+        return (next() % (bound / 2)) * 2 + 1;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace cfva
+
+#endif // CFVA_COMMON_STATS_H

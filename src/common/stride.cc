@@ -1,0 +1,37 @@
+#include "common/stride.h"
+
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace cfva {
+
+Stride::Stride(std::uint64_t value)
+{
+    cfva_assert(value > 0, "stride must be positive, got ", value);
+    x_ = trailingZeros(value);
+    sigma_ = value >> x_;
+}
+
+Stride
+Stride::fromFamily(std::uint64_t sigma, unsigned x)
+{
+    cfva_assert(sigma % 2 == 1, "sigma must be odd, got ", sigma);
+    cfva_assert(x < 63, "family exponent too large: ", x);
+    return Stride(sigma, x);
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Stride &s)
+{
+    return os << s.value() << " (= " << s.sigma() << " * 2^"
+              << s.family() << ")";
+}
+
+double
+strideFamilyFraction(unsigned x)
+{
+    return 1.0 / static_cast<double>(std::uint64_t{1} << (x + 1));
+}
+
+} // namespace cfva

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Stride-family arithmetic.
+ *
+ * The paper classifies strides into families: the family defined by x
+ * is the set of strides sigma * 2^x with sigma odd (Sec. 2, after
+ * Harper & Linebarger).  Everything in CFVA — periods, windows,
+ * orderings — is parameterized by (sigma, x), so the decomposition
+ * lives here as a small value type.
+ */
+
+#ifndef CFVA_COMMON_STRIDE_H
+#define CFVA_COMMON_STRIDE_H
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/bits.h"
+
+namespace cfva {
+
+/**
+ * A constant vector stride S decomposed as S = sigma * 2^x, sigma odd.
+ *
+ * Strides are positive in this model (the paper's analysis is
+ * symmetric in sign; a negative stride visits the same module
+ * multiset in reverse).
+ */
+class Stride
+{
+  public:
+    /** Decomposes @p value (> 0) into sigma * 2^x. */
+    explicit Stride(std::uint64_t value);
+
+    /** Builds a stride directly from its family form. */
+    static Stride fromFamily(std::uint64_t sigma, unsigned x);
+
+    /** The raw stride value S. */
+    std::uint64_t value() const { return sigma_ << x_; }
+
+    /** The odd factor sigma. */
+    std::uint64_t sigma() const { return sigma_; }
+
+    /** The family exponent x (number of trailing zero bits of S). */
+    unsigned family() const { return x_; }
+
+    /** True iff this stride is odd (family 0). */
+    bool odd() const { return x_ == 0; }
+
+    bool operator==(const Stride &o) const = default;
+
+  private:
+    Stride(std::uint64_t sigma, unsigned x) : sigma_(sigma), x_(x) {}
+
+    std::uint64_t sigma_;
+    unsigned x_;
+};
+
+std::ostream &operator<<(std::ostream &os, const Stride &s);
+
+/**
+ * The fraction of all strides that belong to family x, namely
+ * 2^-(x+1) (Sec. 5A): half of all integers are odd, a quarter are
+ * 2*odd, and so on.
+ */
+double strideFamilyFraction(unsigned x);
+
+/**
+ * Enumerates the first @p count strides of family @p x in increasing
+ * order (sigma = 1, 3, 5, ...) into @p out.
+ */
+template <typename OutIt>
+void
+enumerateFamily(unsigned x, std::size_t count, OutIt out)
+{
+    std::uint64_t sigma = 1;
+    for (std::size_t i = 0; i < count; ++i, sigma += 2)
+        *out++ = Stride::fromFamily(sigma, x);
+}
+
+} // namespace cfva
+
+#endif // CFVA_COMMON_STRIDE_H

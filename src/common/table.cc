@@ -1,0 +1,98 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace cfva {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    cfva_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cfva_assert(cells.size() == headers_.size(),
+                "row has ", cells.size(), " cells, table has ",
+                headers_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+const std::string &
+TextTable::cell(std::size_t r, std::size_t c) const
+{
+    cfva_assert(r < rows_.size() && c < headers_.size(),
+                "cell (", r, ",", c, ") out of range");
+    return rows_[r][c];
+}
+
+void
+TextTable::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    if (!title.empty())
+        os << title << "\n";
+
+    auto rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << std::setw(static_cast<int>(widths[c]))
+               << cells[c] << ' ';
+        }
+        os << "|\n";
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &row : rows_)
+        line(row);
+    rule();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << (c ? "," : "") << cells[c];
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fixed(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+std::string
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    std::ostringstream os;
+    os << num << '/' << den;
+    return os.str();
+}
+
+} // namespace cfva

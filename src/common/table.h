@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.
+ *
+ * Every experiment binary prints the rows/series the paper reports;
+ * TextTable keeps the formatting consistent (column alignment, an
+ * optional title, and CSV export for post-processing).
+ */
+
+#ifndef CFVA_COMMON_TABLE_H
+#define CFVA_COMMON_TABLE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cfva {
+
+/** A simple right-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Appends a row of preformatted cells; must match column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Appends a row, converting each value with operator<<. */
+    template <typename... Ts>
+    void
+    row(const Ts &...vals)
+    {
+        std::vector<std::string> cells;
+        cells.reserve(sizeof...(vals));
+        (cells.push_back(format(vals)), ...);
+        addRow(std::move(cells));
+    }
+
+    /** Renders the table; @p title prints above when nonempty. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** Renders as CSV (no title). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+    /** Read-back used by harness self-tests. */
+    const std::string &cell(std::size_t r, std::size_t c) const;
+
+  private:
+    template <typename T>
+    static std::string
+    format(const T &v)
+    {
+        std::ostringstream os;
+        os << v;
+        return os.str();
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats @p v with @p digits fractional digits. */
+std::string fixed(double v, int digits);
+
+/** Formats a ratio like "31/32". */
+std::string ratio(std::uint64_t num, std::uint64_t den);
+
+} // namespace cfva
+
+#endif // CFVA_COMMON_TABLE_H

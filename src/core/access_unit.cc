@@ -1,0 +1,333 @@
+#include "core/access_unit.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "mapping/xor_matched.h"
+#include "mapping/xor_sectioned.h"
+
+namespace cfva {
+
+const char *
+to_string(AccessPolicy policy)
+{
+    switch (policy) {
+      case AccessPolicy::InOrder:
+        return "in-order";
+      case AccessPolicy::ConflictFree:
+        return "conflict-free";
+      case AccessPolicy::SplitShort:
+        return "split-short";
+      case AccessPolicy::ChunkedByL:
+        return "chunked-by-L";
+    }
+    return "?";
+}
+
+VectorAccessUnit::VectorAccessUnit(const VectorUnitConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.validate();
+
+    const unsigned t = cfg_.t;
+    const unsigned s = cfg_.s();
+    const unsigned lambda = cfg_.lambda;
+
+    switch (cfg_.kind) {
+      case MemoryKind::Matched: {
+        auto map = std::make_unique<XorMatchedMapping>(t, s);
+        matched_ = map.get();
+        mapping_ = std::move(map);
+        window_ = theory::matchedWindow(s, t, lambda);
+        break;
+      }
+      case MemoryKind::SimpleUnmatched: {
+        const unsigned m = cfg_.m();
+        cfva_assert(s >= m,
+                    "Eq. 1 with t replaced by m needs s >= m (s=",
+                    s, ", m=", m, ")");
+        auto map = std::make_unique<XorMatchedMapping>(m, s);
+        matched_ = map.get();
+        mapping_ = std::move(map);
+        window_ = theory::simpleUnmatchedWindow(s, m, t, lambda);
+        break;
+      }
+      case MemoryKind::Sectioned: {
+        const unsigned y = cfg_.y();
+        auto map = std::make_unique<XorSectionedMapping>(t, s, y);
+        sectioned_ = map.get();
+        mapping_ = std::move(map);
+        const auto wins = theory::sectionedWindows(s, y, t, lambda);
+        if (wins.fused()) {
+            window_ = wins.fusedWindow();
+        } else {
+            cfva_warn("sectioned windows [", wins.low.lo, ",",
+                      wins.low.hi, "] and [", wins.high.lo, ",",
+                      wins.high.hi, "] do not fuse; window() reports "
+                      "the hull but the gap is not conflict free");
+            window_ = {wins.low.lo, wins.high.hi};
+        }
+        break;
+      }
+    }
+}
+
+bool
+VectorAccessUnit::inWindow(const Stride &s) const
+{
+    const unsigned x = s.family();
+    if (cfg_.kind == MemoryKind::Sectioned) {
+        const auto wins = theory::sectionedWindows(cfg_.s(), cfg_.y(),
+                                                   cfg_.t, cfg_.lambda);
+        return wins.low.contains(x) || wins.high.contains(x);
+    }
+    return window_.contains(x);
+}
+
+std::optional<unsigned>
+VectorAccessUnit::windowW(unsigned x) const
+{
+    const unsigned s = cfg_.s();
+    switch (cfg_.kind) {
+      case MemoryKind::Matched:
+      case MemoryKind::SimpleUnmatched:
+        if (x <= s)
+            return s;
+        return std::nullopt;
+      case MemoryKind::Sectioned:
+        if (x <= s)
+            return s;
+        if (x <= cfg_.y())
+            return cfg_.y();
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+bool
+VectorAccessUnit::inOrderConflictFree(unsigned x) const
+{
+    const unsigned s = cfg_.s();
+    switch (cfg_.kind) {
+      case MemoryKind::Matched:
+        // Eq. 1 in order: exactly the x = s family ([6]).
+        return x == s;
+      case MemoryKind::SimpleUnmatched:
+        // Eq. 1 with t -> m in order: s <= x <= s+m-t ([6]).
+        return x >= s && x <= s + cfg_.m() - cfg_.t;
+      case MemoryKind::Sectioned:
+        // x = s: consecutive elements step the Eq. 1 core field by
+        // sigma, so any T consecutive requests differ in the low t
+        // module bits.  x = y: ditto for the section field.  These
+        // are the paper's two any-length families (Sec. 5H).
+        return x == cfg_.s() || x == cfg_.y();
+    }
+    return false;
+}
+
+std::function<ModuleId(Addr)>
+VectorAccessUnit::reorderKey(unsigned x) const
+{
+    const Cycle t_mask = (Cycle{1} << cfg_.t) - 1;
+    switch (cfg_.kind) {
+      case MemoryKind::Matched:
+        // Key = the module number itself.
+        return [map = matched_](Addr a) { return map->moduleOf(a); };
+      case MemoryKind::SimpleUnmatched:
+        // Key = low t bits of the module number: Lemma 2 guarantees
+        // these cycle through all 2^t values in a subsequence, and
+        // differing low bits imply differing modules.
+        return [map = matched_, t_mask](Addr a) {
+            return static_cast<ModuleId>(map->moduleOf(a) & t_mask);
+        };
+      case MemoryKind::Sectioned:
+        if (x <= cfg_.s()) {
+            // Supermodule order (Sec. 4.2 case i).
+            return [map = sectioned_](Addr a) {
+                return map->supermoduleOf(a);
+            };
+        }
+        // Section order (Sec. 4.2 case ii).
+        return [map = sectioned_](Addr a) {
+            return map->sectionOf(a);
+        };
+    }
+    cfva_panic("unreachable memory kind");
+}
+
+AccessPlan
+VectorAccessUnit::planExact(Addr a1, const Stride &s,
+                            std::uint64_t length) const
+{
+    AccessPlan plan;
+    plan.a1 = a1;
+    plan.stride = s;
+    plan.length = length;
+
+    const unsigned x = s.family();
+    std::ostringstream why;
+
+    if (inOrderConflictFree(x)) {
+        plan.policy = AccessPolicy::InOrder;
+        plan.expectConflictFree = true;
+        plan.stream = canonicalOrder(a1, s, length);
+        why << "family x=" << x << " is conflict free in order on "
+            << mapping_->name();
+        plan.rationale = why.str();
+        return plan;
+    }
+
+    const auto w = windowW(x);
+    if (w && subsequencePlanExists(cfg_.t, *w, s, length)) {
+        const auto sub = makeSubsequencePlan(cfg_.t, *w, s, length);
+        plan.policy = AccessPolicy::ConflictFree;
+        plan.expectConflictFree = true;
+        plan.stream = conflictFreeOrderByKey(a1, sub, reorderKey(x));
+        why << "family x=" << x << " in window via w=" << *w
+            << ": Sec. " << (cfg_.kind == MemoryKind::Sectioned
+                             ? "4.2" : "3.2")
+            << " out-of-order issue";
+        plan.rationale = why.str();
+        return plan;
+    }
+
+    plan.policy = AccessPolicy::InOrder;
+    plan.expectConflictFree = false;
+    plan.stream = canonicalOrder(a1, s, length);
+    why << "family x=" << x << " outside every window (vector not "
+        << "T-matched); canonical order";
+    plan.rationale = why.str();
+    return plan;
+}
+
+AccessPlan
+VectorAccessUnit::plan(Addr a1, const Stride &s,
+                       std::uint64_t length) const
+{
+    cfva_assert(length > 0, "empty access");
+    const std::uint64_t reg_len = cfg_.registerLength();
+    const unsigned x = s.family();
+
+    if (length == reg_len)
+        return planExact(a1, s, length);
+
+    if (length > reg_len && length % reg_len == 0) {
+        // Sec. 5C case ii: multiple-size registers; apply the
+        // register-length scheme to each portion.  Each chunk is
+        // individually conflict free; the seams may cost up to T-1
+        // cycles each, which the simulator measures honestly.
+        AccessPlan plan;
+        plan.policy = AccessPolicy::ChunkedByL;
+        plan.a1 = a1;
+        plan.stride = s;
+        plan.length = length;
+        const std::uint64_t chunks = length / reg_len;
+        for (std::uint64_t c = 0; c < chunks; ++c) {
+            const Addr chunk_a1 = a1 + s.value() * (c * reg_len);
+            AccessPlan sub = planExact(chunk_a1, s, reg_len);
+            for (auto &req : sub.stream)
+                req.element += c * reg_len;
+            plan.stream.insert(plan.stream.end(), sub.stream.begin(),
+                               sub.stream.end());
+            if (c == 0)
+                plan.expectConflictFree = sub.expectConflictFree;
+            else
+                plan.expectConflictFree &= sub.expectConflictFree;
+        }
+        // Seams between chunks are not covered by Theorem 1/3; only
+        // a fully in-order stream keeps the guarantee end to end.
+        if (plan.expectConflictFree && chunks > 1
+            && !inOrderConflictFree(x)) {
+            plan.expectConflictFree = false;
+        }
+        std::ostringstream why;
+        why << "V = " << chunks << " * L: per-portion scheme "
+            << "(Sec. 5C case ii)";
+        plan.rationale = why.str();
+        return plan;
+    }
+
+    if (inOrderConflictFree(x)) {
+        AccessPlan plan;
+        plan.policy = AccessPolicy::InOrder;
+        plan.a1 = a1;
+        plan.stride = s;
+        plan.length = length;
+        plan.expectConflictFree = true;
+        plan.stream = canonicalOrder(a1, s, length);
+        plan.rationale = "in-order family; any length is conflict "
+                         "free";
+        return plan;
+    }
+
+    // Sec. 5C case i: short vector; split into an out-of-order head
+    // of length k*2^{w+t-x} and an in-order tail.
+    AccessPlan plan;
+    plan.policy = AccessPolicy::SplitShort;
+    plan.a1 = a1;
+    plan.stride = s;
+    plan.length = length;
+
+    const auto w = windowW(x);
+    if (!w) {
+        plan.policy = AccessPolicy::InOrder;
+        plan.expectConflictFree = false;
+        plan.stream = canonicalOrder(a1, s, length);
+        plan.rationale = "family outside every window; canonical "
+                         "order";
+        return plan;
+    }
+
+    const auto split = planShortVector(cfg_.t, *w, s, length);
+    plan.stream = shortVectorOrder(a1, s, split, reorderKey(x));
+    plan.expectConflictFree =
+        split.hasReorderedPart() && split.ordered == 0;
+    std::ostringstream why;
+    why << "short vector: " << split.reordered
+        << " elements out of order + " << split.ordered
+        << " in order (Sec. 5C)";
+    plan.rationale = why.str();
+    return plan;
+}
+
+AccessPlan
+VectorAccessUnit::plan(Addr a1, std::int64_t stride,
+                       std::uint64_t length) const
+{
+    cfva_assert(stride != 0, "stride must be nonzero");
+    if (stride > 0)
+        return plan(a1, Stride(static_cast<std::uint64_t>(stride)),
+                    length);
+
+    const std::uint64_t mag =
+        static_cast<std::uint64_t>(-stride);
+    cfva_assert(a1 >= (length - 1) * mag,
+                "negative-stride access underflows address 0: a1=",
+                a1, ", |S|=", mag, ", V=", length);
+
+    // Walk the same addresses from the low end and mirror the
+    // element numbering: element i of the descending vector is
+    // element length-1-i of the ascending one.
+    const Addr low_a1 = a1 - (length - 1) * mag;
+    AccessPlan p = plan(low_a1, Stride(mag), length);
+    for (auto &req : p.stream)
+        req.element = length - 1 - req.element;
+    p.a1 = a1;
+    p.rationale += " (descending: mirrored from ascending twin)";
+    return p;
+}
+
+AccessResult
+VectorAccessUnit::execute(const AccessPlan &plan) const
+{
+    return simulateAccess(cfg_.memConfig(), *mapping_, plan.stream);
+}
+
+AccessResult
+VectorAccessUnit::access(Addr a1, const Stride &s,
+                         std::uint64_t length) const
+{
+    return execute(plan(a1, s, length));
+}
+
+} // namespace cfva

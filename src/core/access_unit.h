@@ -1,0 +1,133 @@
+/**
+ * @file
+ * VectorAccessUnit: the library's primary public API.
+ *
+ * Ties the whole system together: given a configuration (memory
+ * shape + register length), it owns the address mapping, selects
+ * the right ordering for each (A1, S, V) access — conflict-free
+ * out-of-order inside the Theorem 1/3 windows, in-order where the
+ * mapping is conflict free anyway, the Sec. 5C split for short
+ * vectors — runs the request stream through the cycle-accurate
+ * memory simulator, and reports the measured latency.
+ */
+
+#ifndef CFVA_CORE_ACCESS_UNIT_H
+#define CFVA_CORE_ACCESS_UNIT_H
+
+#include <string>
+#include <vector>
+
+#include "access/ordering.h"
+#include "access/short_vector.h"
+#include "core/config.h"
+#include "mapping/mapping.h"
+#include "memsys/memory_system.h"
+#include "theory/theory.h"
+
+namespace cfva {
+
+/** How the unit decided to issue one access. */
+enum class AccessPolicy
+{
+    InOrder,        //!< canonical order (in-window for x = s family,
+                    //!< or fallback outside every window)
+    ConflictFree,   //!< Sec. 3.2 / 4.2 reordering, minimum latency
+    SplitShort,     //!< Sec. 5C head/tail split (V < L)
+    ChunkedByL,     //!< Sec. 5C case ii: V = k*L, per-chunk scheme
+};
+
+const char *to_string(AccessPolicy policy);
+
+/** A fully materialized access: policy, rationale, request stream. */
+struct AccessPlan
+{
+    AccessPolicy policy = AccessPolicy::InOrder;
+    Addr a1 = 0;
+    Stride stride{1};
+    std::uint64_t length = 0;
+
+    /** Requests in issue order. */
+    std::vector<Request> stream;
+
+    /** True iff the plan should achieve minimum latency L+T+1. */
+    bool expectConflictFree = false;
+
+    /** Human-readable explanation of the choice (for examples). */
+    std::string rationale;
+};
+
+/**
+ * The vector memory-access module of Figure 1, combining mapping,
+ * ordering selection, and the multi-module memory model.
+ */
+class VectorAccessUnit
+{
+  public:
+    /** Builds the unit; the configuration is validated. */
+    explicit VectorAccessUnit(const VectorUnitConfig &cfg);
+
+    /** The conflict-free window of stride families this unit
+     *  achieves for full-register accesses (Theorems 1 / 3). */
+    theory::FamilyWindow window() const { return window_; }
+
+    /** True iff family of @p s is inside window() — i.e. a
+     *  full-register access of this stride is conflict free. */
+    bool inWindow(const Stride &s) const;
+
+    /**
+     * Chooses an ordering for a vector access of @p length elements
+     * with stride @p s starting at @p a1 (any address).
+     */
+    AccessPlan plan(Addr a1, const Stride &s,
+                    std::uint64_t length) const;
+
+    /**
+     * Signed-stride overload.  The paper's analysis is symmetric in
+     * the stride sign (Sec. 2 note): a negative stride visits the
+     * same modules as the positive one walked from the other end,
+     * so the plan is built for |S| from the lowest address and the
+     * element indices are mirrored.  @p stride must be nonzero, and
+     * for negative strides a1 >= (length-1)*|S| so no address
+     * underflows.
+     */
+    AccessPlan plan(Addr a1, std::int64_t stride,
+                    std::uint64_t length) const;
+
+    /** Runs a plan through the cycle-accurate memory simulator. */
+    AccessResult execute(const AccessPlan &plan) const;
+
+    /** plan() + execute() in one call. */
+    AccessResult access(Addr a1, const Stride &s,
+                        std::uint64_t length) const;
+
+    const VectorUnitConfig &config() const { return cfg_; }
+    const ModuleMapping &mapping() const { return *mapping_; }
+    MemConfig memConfig() const { return cfg_.memConfig(); }
+
+  private:
+    /** Plans one full-register (or period-multiple) access. */
+    AccessPlan planExact(Addr a1, const Stride &s,
+                         std::uint64_t length) const;
+
+    /** The reorder key for conflict-free issue at family @p x. */
+    std::function<ModuleId(Addr)> reorderKey(unsigned x) const;
+
+    /** The XOR distance (w = s or y) to use for family @p x, or
+     *  nullopt when x is outside every out-of-order window. */
+    std::optional<unsigned> windowW(unsigned x) const;
+
+    /** True iff in-order access of family @p x is conflict free on
+     *  this mapping for any length (x = s matched; [s, s+m-t] for
+     *  the simple unmatched mapping). */
+    bool inOrderConflictFree(unsigned x) const;
+
+    VectorUnitConfig cfg_;
+    MappingPtr mapping_;
+    const XorMatchedMapping *matched_ = nullptr;   // typed views
+    const XorSectionedMapping *sectioned_ = nullptr;
+    theory::FamilyWindow window_;
+};
+
+} // namespace cfva
+
+#endif // CFVA_CORE_ACCESS_UNIT_H

@@ -1,0 +1,35 @@
+#include "core/chaining.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cfva {
+
+ChainingReport
+chainingModel(const AccessResult &result, Cycle execLatency)
+{
+    cfva_assert(execLatency >= 1, "execute latency must be >= 1");
+    cfva_assert(!result.deliveries.empty(), "empty access");
+
+    ChainingReport report;
+    report.loadDone = result.lastDelivery;
+    report.chainable = result.conflictFree;
+
+    const Cycle n = result.deliveries.size();
+
+    // Decoupled: issue the first operand the cycle after the load
+    // completes, one per cycle, plus the pipeline drain.
+    report.decoupledTotal =
+        result.lastDelivery + 1 + (n - 1) + execLatency;
+
+    // Chained: operand k issues at max(delivered_k + 1, prev + 1).
+    Cycle issue = 0;
+    for (const auto &d : result.deliveries)
+        issue = std::max(d.delivered + 1, issue + 1);
+    report.chainedTotal = issue + execLatency;
+
+    return report;
+}
+
+} // namespace cfva

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LOAD/EXECUTE chaining model (paper Sec. 5F).
+ *
+ * With in-order access and buffers, element arrival times are
+ * erratic, making chaining impractical.  The conflict-free scheme
+ * returns one element per cycle in a deterministic order, so an
+ * execute unit that consumes operands in that same order can chain:
+ * each element is used the cycle after it arrives.  This module
+ * computes total times for the decoupled and chained modes from a
+ * simulated AccessResult.
+ */
+
+#ifndef CFVA_CORE_CHAINING_H
+#define CFVA_CORE_CHAINING_H
+
+#include "memsys/request.h"
+
+namespace cfva {
+
+/** Timing comparison of decoupled vs chained execution. */
+struct ChainingReport
+{
+    /** Cycle the LOAD finished (last element delivered). */
+    Cycle loadDone = 0;
+
+    /**
+     * Decoupled total: the execute unit starts only after the whole
+     * register is loaded (the paper's default mode), issuing one
+     * element per cycle.
+     */
+    Cycle decoupledTotal = 0;
+
+    /**
+     * Chained total: the execute unit consumes elements in delivery
+     * order, each at the cycle after its arrival (subject to its
+     * own one-per-cycle issue limit).
+     */
+    Cycle chainedTotal = 0;
+
+    /**
+     * True iff delivery was one element per cycle in a
+     * deterministic order — the Sec. 5F precondition.  When false,
+     * chainedTotal still reports the (erratic) achievable time.
+     */
+    bool chainable = false;
+
+    /** Cycles saved by chaining. */
+    Cycle
+    saved() const
+    {
+        return decoupledTotal - chainedTotal;
+    }
+};
+
+/**
+ * Builds the chaining comparison for one executed access.
+ *
+ * @param result       simulator output for the LOAD
+ * @param execLatency  pipeline depth of the execute unit (cycles
+ *                     from operand issue to result)
+ */
+ChainingReport chainingModel(const AccessResult &result,
+                             Cycle execLatency = 1);
+
+} // namespace cfva
+
+#endif // CFVA_CORE_CHAINING_H

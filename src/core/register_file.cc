@@ -1,0 +1,65 @@
+#include "core/register_file.h"
+
+#include "common/logging.h"
+
+namespace cfva {
+
+VectorRegisterFile::VectorRegisterFile(unsigned registers,
+                                       std::uint64_t length,
+                                       RegisterFileOrg org)
+    : length_(length), org_(org)
+{
+    cfva_assert(registers >= 1, "need at least one register");
+    cfva_assert(length >= 1, "register length must be positive");
+    data_.assign(registers, std::vector<std::uint64_t>(length, 0));
+    written_.assign(registers, std::vector<bool>(length, false));
+    writeCount_.assign(registers, 0);
+    fifoNext_.assign(registers, 0);
+}
+
+void
+VectorRegisterFile::beginWrite(unsigned reg)
+{
+    cfva_assert(reg < registers(), "register ", reg, " out of range");
+    written_[reg].assign(length_, false);
+    writeCount_[reg] = 0;
+    fifoNext_[reg] = 0;
+}
+
+void
+VectorRegisterFile::write(unsigned reg, std::uint64_t elem,
+                          std::uint64_t value)
+{
+    cfva_assert(reg < registers(), "register ", reg, " out of range");
+    cfva_assert(elem < length_, "element ", elem, " out of range");
+    if (org_ == RegisterFileOrg::Fifo) {
+        cfva_assert(elem == fifoNext_[reg],
+                    "FIFO register file written out of order: got "
+                    "element ", elem, ", expected ", fifoNext_[reg],
+                    " (out-of-order return needs a random-access "
+                    "file, paper Sec. 5D)");
+        ++fifoNext_[reg];
+    }
+    data_[reg][elem] = value;
+    if (!written_[reg][elem]) {
+        written_[reg][elem] = true;
+        ++writeCount_[reg];
+    }
+}
+
+std::uint64_t
+VectorRegisterFile::read(unsigned reg, std::uint64_t elem) const
+{
+    cfva_assert(reg < registers(), "register ", reg, " out of range");
+    cfva_assert(elem < length_, "element ", elem, " out of range");
+    return data_[reg][elem];
+}
+
+bool
+VectorRegisterFile::complete(unsigned reg) const
+{
+    cfva_assert(reg < registers(), "register ", reg, " out of range");
+    return writeCount_[reg] == length_;
+}
+
+} // namespace cfva

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Vector register file with FIFO or random-access write ports.
+ *
+ * Sec. 5D: "To support the out-of-order access, elements of the
+ * vector register have to be addressed out of order.  Consequently,
+ * this register has to be of the random access type, whereas for
+ * ordered access and return a FIFO organization is adequate."  This
+ * class models both organizations; a FIFO-organized file rejects
+ * out-of-order writes, which the tests use to demonstrate *why* the
+ * paper requires the random-access organization.
+ */
+
+#ifndef CFVA_CORE_REGISTER_FILE_H
+#define CFVA_CORE_REGISTER_FILE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "access/hw_cost.h"
+
+namespace cfva {
+
+/** A file of vector registers holding 64-bit elements. */
+class VectorRegisterFile
+{
+  public:
+    /**
+     * @param registers  number of vector registers
+     * @param length     elements per register (the L of the paper)
+     * @param org        write-port organization
+     */
+    VectorRegisterFile(unsigned registers, std::uint64_t length,
+                       RegisterFileOrg org);
+
+    /**
+     * Starts a new vector write into register @p reg (a LOAD);
+     * resets the FIFO pointer for FIFO-organized files.
+     */
+    void beginWrite(unsigned reg);
+
+    /**
+     * Writes element @p elem of register @p reg.  For a FIFO
+     * organization, panics unless @p elem is exactly the next
+     * sequential index — the reason out-of-order return requires a
+     * random-access file.
+     */
+    void write(unsigned reg, std::uint64_t elem, std::uint64_t value);
+
+    /** Reads element @p elem of register @p reg. */
+    std::uint64_t read(unsigned reg, std::uint64_t elem) const;
+
+    /** True iff all @p length elements of @p reg have been written
+     *  since the last beginWrite. */
+    bool complete(unsigned reg) const;
+
+    unsigned registers() const
+    {
+        return static_cast<unsigned>(data_.size());
+    }
+    std::uint64_t length() const { return length_; }
+    RegisterFileOrg organization() const { return org_; }
+
+  private:
+    std::uint64_t length_;
+    RegisterFileOrg org_;
+    std::vector<std::vector<std::uint64_t>> data_;
+    std::vector<std::vector<bool>> written_;
+    std::vector<std::uint64_t> writeCount_;
+    std::vector<std::uint64_t> fifoNext_;
+};
+
+} // namespace cfva
+
+#endif // CFVA_CORE_REGISTER_FILE_H

@@ -1,0 +1,128 @@
+#include "mapping/analysis.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace cfva {
+
+std::vector<Addr>
+vectorAddresses(Addr a1, const Stride &s, std::uint64_t length)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(length);
+    for (std::uint64_t i = 0; i < length; ++i)
+        addrs.push_back(elementAddress(a1, s, i));
+    return addrs;
+}
+
+std::vector<std::uint64_t>
+spatialDistribution(const ModuleMapping &map, Addr a1, const Stride &s,
+                    std::uint64_t length)
+{
+    std::vector<std::uint64_t> sd(map.modules(), 0);
+    for (std::uint64_t i = 0; i < length; ++i)
+        ++sd[map.moduleOf(elementAddress(a1, s, i))];
+    return sd;
+}
+
+std::vector<ModuleId>
+temporalDistribution(const ModuleMapping &map,
+                     const std::vector<Addr> &requests)
+{
+    std::vector<ModuleId> td;
+    td.reserve(requests.size());
+    for (Addr a : requests)
+        td.push_back(map.moduleOf(a));
+    return td;
+}
+
+std::vector<ModuleId>
+canonicalTemporal(const ModuleMapping &map, Addr a1, const Stride &s,
+                  std::uint64_t length)
+{
+    return temporalDistribution(map, vectorAddresses(a1, s, length));
+}
+
+bool
+isTMatched(const std::vector<std::uint64_t> &sd, std::uint64_t length,
+           std::uint64_t tCycles)
+{
+    cfva_assert(tCycles > 0, "T must be positive");
+    // SD(i) <= L/T for all i.  Lengths that are not multiples of T
+    // use the exact rational comparison SD(i)*T <= L.
+    return std::all_of(sd.begin(), sd.end(), [&](std::uint64_t c) {
+        return c * tCycles <= length;
+    });
+}
+
+bool
+isTMatched(const ModuleMapping &map, Addr a1, const Stride &s,
+           std::uint64_t length, std::uint64_t tCycles)
+{
+    return isTMatched(spatialDistribution(map, a1, s, length), length,
+                      tCycles);
+}
+
+std::int64_t
+firstConflict(const std::vector<ModuleId> &temporal,
+              std::uint64_t tCycles)
+{
+    cfva_assert(tCycles > 0, "T must be positive");
+    if (temporal.size() < 2 || tCycles < 2)
+        return -1;
+
+    // Sliding window: remember the last request index per module and
+    // flag any re-visit closer than T requests apart.
+    std::vector<std::int64_t> last;
+    for (std::size_t i = 0; i < temporal.size(); ++i) {
+        const ModuleId mod = temporal[i];
+        if (mod >= last.size())
+            last.resize(mod + 1, -1);
+        const std::int64_t prev = last[mod];
+        if (prev >= 0
+            && static_cast<std::int64_t>(i) - prev
+                   < static_cast<std::int64_t>(tCycles)) {
+            return prev;
+        }
+        last[mod] = static_cast<std::int64_t>(i);
+    }
+    return -1;
+}
+
+bool
+isConflictFree(const std::vector<ModuleId> &temporal,
+               std::uint64_t tCycles)
+{
+    return firstConflict(temporal, tCycles) < 0;
+}
+
+std::uint64_t
+measuredPeriod(const ModuleMapping &map, Addr a1, const Stride &s,
+               std::uint64_t maxPeriod, std::uint64_t probe)
+{
+    cfva_assert(probe >= 2 * maxPeriod,
+                "probe window must cover two candidate periods");
+    const auto td = canonicalTemporal(map, a1, s, probe);
+    for (std::uint64_t p = 1; p <= maxPeriod; ++p) {
+        bool ok = true;
+        for (std::uint64_t i = 0; i + p < probe && ok; ++i)
+            ok = td[i] == td[i + p];
+        if (ok)
+            return p;
+    }
+    return 0;
+}
+
+std::uint64_t
+distinctModules(const ModuleMapping &map, Addr a1, const Stride &s,
+                std::uint64_t length)
+{
+    std::unordered_set<ModuleId> seen;
+    for (std::uint64_t i = 0; i < length; ++i)
+        seen.insert(map.moduleOf(elementAddress(a1, s, i)));
+    return seen.size();
+}
+
+} // namespace cfva

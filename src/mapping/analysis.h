@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Distribution analysis for address mappings (paper Sec. 2).
+ *
+ * Implements the paper's analytical vocabulary as executable
+ * predicates: spatial distribution SD, temporal distribution,
+ * canonical temporal distribution (in-order requests), the period
+ * P_x of the canonical distribution, the T-matched test, and the
+ * conflict-free test (any T consecutive requests hit T distinct
+ * modules).  The theory library predicts these quantities; this
+ * module measures them, and the test suite pits one against the
+ * other.
+ */
+
+#ifndef CFVA_MAPPING_ANALYSIS_H
+#define CFVA_MAPPING_ANALYSIS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stride.h"
+#include "mapping/mapping.h"
+
+namespace cfva {
+
+/** The i-th element address of a vector: A1 + S*(i-1), 0-based i. */
+inline Addr
+elementAddress(Addr a1, const Stride &s, std::uint64_t i)
+{
+    return a1 + s.value() * i;
+}
+
+/** Addresses of all @p length elements in canonical order. */
+std::vector<Addr> vectorAddresses(Addr a1, const Stride &s,
+                                  std::uint64_t length);
+
+/**
+ * Spatial distribution SD: SD[i] = number of vector elements stored
+ * in module i (paper Sec. 2 definition).
+ */
+std::vector<std::uint64_t>
+spatialDistribution(const ModuleMapping &map, Addr a1, const Stride &s,
+                    std::uint64_t length);
+
+/**
+ * The temporal distribution of a request stream: the sequence of
+ * module numbers in request order.
+ */
+std::vector<ModuleId>
+temporalDistribution(const ModuleMapping &map,
+                     const std::vector<Addr> &requests);
+
+/**
+ * The canonical temporal distribution: modules visited when the
+ * elements are requested in order.
+ */
+std::vector<ModuleId>
+canonicalTemporal(const ModuleMapping &map, Addr a1, const Stride &s,
+                  std::uint64_t length);
+
+/**
+ * T-matched test (paper Sec. 2): SD(i) <= L/T for all i.  @p tCycles
+ * is T = 2^t.  A T-matched vector of length L can in principle be
+ * accessed in the minimum L + T + 1 cycles.
+ */
+bool isTMatched(const std::vector<std::uint64_t> &sd,
+                std::uint64_t length, std::uint64_t tCycles);
+
+/** Convenience overload computing the SD internally. */
+bool isTMatched(const ModuleMapping &map, Addr a1, const Stride &s,
+                std::uint64_t length, std::uint64_t tCycles);
+
+/**
+ * Conflict-free test (paper Sec. 2): every window of T consecutive
+ * requests addresses T distinct modules.
+ */
+bool isConflictFree(const std::vector<ModuleId> &temporal,
+                    std::uint64_t tCycles);
+
+/**
+ * Index of the first window of T consecutive requests containing a
+ * repeated module, or -1 when the stream is conflict free.  Useful
+ * for diagnostics in tests and benches.
+ */
+std::int64_t firstConflict(const std::vector<ModuleId> &temporal,
+                           std::uint64_t tCycles);
+
+/**
+ * Measured period of the canonical temporal distribution: the
+ * smallest p such that module(A1 + S*(i+p)) = module(A1 + S*i) for
+ * all i, probed over @p probe elements and capped at @p maxPeriod.
+ * Returns 0 when no period <= maxPeriod divides the stream.
+ *
+ * For the paper's linear mappings this equals P_x = 2^{s+t-x}
+ * (Eq. 1) or 2^{y+t-x} (Eq. 2) independent of A1 and sigma, which
+ * the test suite asserts.
+ */
+std::uint64_t
+measuredPeriod(const ModuleMapping &map, Addr a1, const Stride &s,
+               std::uint64_t maxPeriod, std::uint64_t probe);
+
+/**
+ * Number of distinct modules visited by the vector.  The paper's
+ * Lemma 3 / Lemma 5 arguments hinge on how many modules a family
+ * reaches (2^{s+t-x} when x > s for Eq. 1).
+ */
+std::uint64_t
+distinctModules(const ModuleMapping &map, Addr a1, const Stride &s,
+                std::uint64_t length);
+
+} // namespace cfva
+
+#endif // CFVA_MAPPING_ANALYSIS_H

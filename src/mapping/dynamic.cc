@@ -1,0 +1,66 @@
+#include "mapping/dynamic.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cfva {
+
+DynamicFieldMapping::DynamicFieldMapping(unsigned m, unsigned p)
+    : m_(m), p_(p), current_(m, p)
+{
+}
+
+void
+DynamicFieldMapping::retune(unsigned p)
+{
+    if (p == p_)
+        return;
+    p_ = p;
+    current_ = FieldInterleave(m_, p);
+    ++retunes_;
+}
+
+double
+DynamicFieldMapping::displacedBy(unsigned m, unsigned p_a,
+                                 unsigned p_b, Addr probe)
+{
+    cfva_assert(probe > 0, "need a nonempty probe range");
+    if (p_a == p_b)
+        return 0.0;
+    const FieldInterleave a(m, p_a), b(m, p_b);
+    Addr moved = 0;
+    for (Addr addr = 0; addr < probe; ++addr) {
+        if (a.locate(addr) != b.locate(addr))
+            ++moved;
+    }
+    return static_cast<double>(moved) / static_cast<double>(probe);
+}
+
+ModuleId
+DynamicFieldMapping::moduleOf(Addr a) const
+{
+    return current_.moduleOf(a);
+}
+
+Addr
+DynamicFieldMapping::displacementOf(Addr a) const
+{
+    return current_.displacementOf(a);
+}
+
+Addr
+DynamicFieldMapping::addressOf(ModuleId module, Addr displacement) const
+{
+    return current_.addressOf(module, displacement);
+}
+
+std::string
+DynamicFieldMapping::name() const
+{
+    std::ostringstream os;
+    os << "dynamic-field(m=" << m_ << ",p=" << p_ << ")";
+    return os.str();
+}
+
+} // namespace cfva

@@ -1,0 +1,29 @@
+#include "mapping/factory.h"
+
+#include "common/logging.h"
+#include "mapping/xor_matched.h"
+#include "mapping/xor_sectioned.h"
+
+namespace cfva {
+
+MappingPtr
+makeMatchedForLength(unsigned t, unsigned lambda)
+{
+    cfva_assert(lambda >= 2 * t,
+                "s = lambda-t must be >= t: lambda=", lambda,
+                ", t=", t);
+    return std::make_unique<XorMatchedMapping>(t, lambda - t);
+}
+
+MappingPtr
+makeSectionedForLength(unsigned t, unsigned lambda)
+{
+    cfva_assert(lambda >= 2 * t,
+                "s = lambda-t must be >= t: lambda=", lambda,
+                ", t=", t);
+    const unsigned s = lambda - t;
+    const unsigned y = 2 * (lambda - t) + 1;
+    return std::make_unique<XorSectionedMapping>(t, s, y);
+}
+
+} // namespace cfva

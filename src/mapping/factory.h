@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Construction helpers for the mapping hierarchy.
+ *
+ * Benches and examples build mappings from small parameter structs;
+ * this avoids each binary re-deriving the paper's parameter rules
+ * (s >= t, y >= s+t, the s = lambda-t and y = 2(lambda-t)+1 choices
+ * of Secs. 3.3 / 4.3).
+ */
+
+#ifndef CFVA_MAPPING_FACTORY_H
+#define CFVA_MAPPING_FACTORY_H
+
+#include "mapping/mapping.h"
+
+namespace cfva {
+
+/**
+ * Builds the Eq. 1 matched mapping with the paper's recommended
+ * XOR distance s = lambda - t (Sec. 3.3), the choice that places the
+ * odd-stride family x = 0 at the bottom edge of the conflict-free
+ * window.
+ *
+ * @param t       log2 of module count (= memory/processor ratio)
+ * @param lambda  log2 of the vector-register length
+ */
+MappingPtr makeMatchedForLength(unsigned t, unsigned lambda);
+
+/**
+ * Builds the Eq. 2 sectioned mapping with the paper's recommended
+ * s = lambda - t and y = 2(lambda - t) + 1 (Sec. 4.3), fusing the
+ * two T-matched windows into the single window 0 <= x <= y.
+ *
+ * @param t       log2 of modules per section (m = 2t total bits)
+ * @param lambda  log2 of the vector-register length
+ */
+MappingPtr makeSectionedForLength(unsigned t, unsigned lambda);
+
+} // namespace cfva
+
+#endif // CFVA_MAPPING_FACTORY_H

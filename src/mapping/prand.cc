@@ -1,0 +1,35 @@
+#include "mapping/prand.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace cfva {
+
+GF2LinearMapping
+makePseudoRandomMapping(unsigned m, unsigned addrBits,
+                        std::uint64_t seed)
+{
+    cfva_assert(m >= 1 && m <= 16, "m out of range: ", m);
+    cfva_assert(addrBits >= m && addrBits <= 56,
+                "addrBits out of range: ", addrBits);
+
+    Rng rng(seed);
+    for (int attempt = 0; attempt < 256; ++attempt) {
+        std::vector<std::uint64_t> rows(m);
+        for (unsigned i = 0; i < m; ++i) {
+            // Dense random row over the address bits; keep at least
+            // one bit set so no module bit is constant.
+            std::uint64_t row = rng.next() & lowMask(addrBits);
+            if (row == 0)
+                row = 1;
+            rows[i] = row;
+        }
+        GF2LinearMapping map(std::move(rows));
+        if (map.bijective())
+            return map;
+    }
+    cfva_panic("could not draw an invertible random matrix "
+               "(m=", m, ", seed=", seed, ")");
+}
+
+} // namespace cfva

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Pseudo-randomly interleaved memory in the style of Rau [12].
+ *
+ * Prior art contrasted in the paper's introduction: instead of
+ * guaranteeing conflict-free windows, a dense random GF(2) linear
+ * transformation scatters every stride's elements across modules so
+ * that no stride is pathologically bad — and none is guaranteed
+ * minimum latency either.  bench_prior_art measures both effects
+ * against the paper's window scheme.
+ */
+
+#ifndef CFVA_MAPPING_PRAND_H
+#define CFVA_MAPPING_PRAND_H
+
+#include <cstdint>
+
+#include "mapping/gf2_linear.h"
+
+namespace cfva {
+
+/**
+ * Builds a random dense GF(2) mapping with m module bits reading
+ * @p addrBits address bits, seeded deterministically.  The low
+ * m x m submatrix is forced invertible so the mapping remains a
+ * (module, A >> m) bijection.
+ */
+GF2LinearMapping makePseudoRandomMapping(unsigned m,
+                                         unsigned addrBits,
+                                         std::uint64_t seed);
+
+} // namespace cfva
+
+#endif // CFVA_MAPPING_PRAND_H

@@ -1,0 +1,57 @@
+#include "mapping/skew.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cfva {
+
+SkewedMapping::SkewedMapping(unsigned m, unsigned r, std::uint64_t delta)
+    : m_(m), r_(r), delta_(delta)
+{
+    cfva_assert(m >= 1 && m <= 12, "m out of range: ", m);
+    cfva_assert(r >= m, "row must span all modules (r=", r,
+                ", m=", m, ")");
+    cfva_assert(r + m <= 56, "r too large: ", r);
+    cfva_assert(delta % 2 == 1, "delta must be odd, got ", delta);
+}
+
+ModuleId
+SkewedMapping::moduleOf(Addr a) const
+{
+    const Addr row = a >> r_;
+    return static_cast<ModuleId>((a + delta_ * row) & lowMask(m_));
+}
+
+Addr
+SkewedMapping::displacementOf(Addr a) const
+{
+    // (module, a >> m) is invertible: the row number a >> r is a
+    // function of the displacement alone (r >= m), so the rotation
+    // can be undone.
+    return a >> m_;
+}
+
+Addr
+SkewedMapping::addressOf(ModuleId module, Addr displacement) const
+{
+    cfva_assert(module < modules(), "module ", module, " out of range");
+    const Addr row = displacement >> (r_ - m_);
+    const Addr rot = (delta_ * row) & lowMask(m_);
+    // a_low + rot + carry-free: module = (a + delta*row) mod 2^m and
+    // the addend from the displacement bits of a is
+    // (displacement << m) mod 2^m = 0, so
+    // module = (a_low + rot) mod 2^m.
+    const Addr low = (Addr{module} - rot) & lowMask(m_);
+    return (displacement << m_) | low;
+}
+
+std::string
+SkewedMapping::name() const
+{
+    std::ostringstream os;
+    os << "skew(m=" << m_ << ",r=" << r_ << ",delta=" << delta_ << ")";
+    return os.str();
+}
+
+} // namespace cfva

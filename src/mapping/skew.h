@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Row-rotation skewing scheme.
+ *
+ * The classic alternative to XOR linear transformations (Budnik &
+ * Kuck [1], Harper & Jump [5]): addresses are viewed as rows of 2^r
+ * consecutive locations and row w is rotated by delta * w modulo M,
+ *
+ *     module(A) = (A + delta * (A >> r)) mod M.
+ *
+ * The paper's conclusions state the out-of-order results carry over
+ * to skewing when "the number of rows to rotate" is selected
+ * suitably; with r = s and delta = 1 the canonical temporal
+ * distribution has the same period structure as Eq. 1, which the
+ * test suite verifies.
+ */
+
+#ifndef CFVA_MAPPING_SKEW_H
+#define CFVA_MAPPING_SKEW_H
+
+#include "mapping/mapping.h"
+
+namespace cfva {
+
+/** Skewed mapping: module = (A + delta * (A >> r)) mod 2^m. */
+class SkewedMapping : public ModuleMapping
+{
+  public:
+    /**
+     * Creates a skewed mapping.
+     *
+     * @param m      log2 of the module count
+     * @param r      log2 of the row length (locations per row);
+     *               must satisfy r >= m so rows cover all modules
+     * @param delta  rotation amount per row; must be odd so that
+     *               consecutive rows cycle through all alignments
+     */
+    SkewedMapping(unsigned m, unsigned r, std::uint64_t delta);
+
+    ModuleId moduleOf(Addr a) const override;
+    Addr displacementOf(Addr a) const override;
+    Addr addressOf(ModuleId module, Addr displacement) const override;
+    unsigned moduleBits() const override { return m_; }
+    std::string name() const override;
+
+    unsigned rowBits() const { return r_; }
+    std::uint64_t delta() const { return delta_; }
+
+  private:
+    unsigned m_;
+    unsigned r_;
+    std::uint64_t delta_;
+};
+
+} // namespace cfva
+
+#endif // CFVA_MAPPING_SKEW_H

@@ -1,0 +1,139 @@
+#include "memsys/memory_system.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cfva {
+
+MemorySystem::MemorySystem(const MemConfig &cfg,
+                           const ModuleMapping &map)
+    : cfg_(cfg), map_(map)
+{
+    cfva_assert(map.moduleBits() == cfg.m,
+                "mapping has 2^", map.moduleBits(),
+                " modules but config expects 2^", cfg.m);
+    modules_.reserve(cfg.modules());
+    for (ModuleId i = 0; i < cfg.modules(); ++i)
+        modules_.emplace_back(i, cfg.serviceCycles(), cfg.inputBuffers,
+                              cfg.outputBuffers);
+}
+
+bool
+MemorySystem::deliverOne(Cycle now, AccessResult &result)
+{
+    // Oldest-ready-first arbitration, lowest module id on ties.
+    MemoryModule *best = nullptr;
+    Cycle bestReady = std::numeric_limits<Cycle>::max();
+    for (auto &mod : modules_) {
+        const Delivery *head = mod.outputHead();
+        if (head && head->ready < bestReady) {
+            best = &mod;
+            bestReady = head->ready;
+        }
+    }
+    if (!best)
+        return false;
+
+    Delivery d = best->popOutput();
+    d.delivered = now;
+    result.lastDelivery = now;
+    result.deliveries.push_back(d);
+    return true;
+}
+
+AccessResult
+MemorySystem::run(const std::vector<Request> &stream)
+{
+    AccessResult result;
+    result.deliveries.reserve(stream.size());
+    if (stream.empty()) {
+        result.conflictFree = true;
+        return result;
+    }
+
+    const Cycle t_cycles = cfg_.serviceCycles();
+    std::size_t next = 0;     // next request to issue
+    bool stalled_attempt = false;
+
+    // Hard cap: a stream of L requests on one module with all
+    // buffering degenerates to ~L*T cycles; anything far beyond that
+    // means the model wedged, which is a simulator bug.
+    const Cycle limit =
+        (static_cast<Cycle>(stream.size()) + 4) * (t_cycles + 2) + 64;
+
+    for (Cycle now = 0;; ++now) {
+        cfva_assert(now <= limit, "simulation wedged at cycle ", now);
+
+        // 1. Retire finished services into output buffers.
+        for (auto &mod : modules_)
+            mod.retire(now);
+
+        // 2. Return bus: at most one delivery per cycle.
+        deliverOne(now, result);
+
+        // 3. Start new services (same cycle a module retired is OK:
+        //    the module was busy [start, start+T-1]).
+        for (auto &mod : modules_)
+            mod.tryStart(now);
+
+        // 4. Processor: attempt to issue one request.
+        if (next < stream.size()) {
+            const Request &req = stream[next];
+            const ModuleId target = map_.moduleOf(req.addr);
+            cfva_assert(target < cfg_.modules(),
+                        "mapping produced module ", target,
+                        " outside 2^", cfg_.m);
+            MemoryModule &mod = modules_[target];
+            if (mod.canAccept()) {
+                Delivery d;
+                d.addr = req.addr;
+                d.element = req.element;
+                d.module = target;
+                d.issued = now;
+                d.arrived = now + 1; // 1-cycle request bus
+                mod.accept(d);
+                if (next == 0)
+                    result.firstIssue = now;
+                ++next;
+                stalled_attempt = false;
+            } else {
+                ++result.stallCycles;
+                stalled_attempt = true;
+            }
+        }
+
+        if (next == stream.size() && !stalled_attempt
+            && result.deliveries.size() == stream.size()) {
+            break;
+        }
+    }
+
+    result.latency = result.lastDelivery - result.firstIssue + 1;
+
+    const Cycle min_latency =
+        static_cast<Cycle>(stream.size()) + t_cycles + 1;
+    result.conflictFree =
+        result.stallCycles == 0 && result.latency == min_latency;
+    return result;
+}
+
+AccessResult
+simulateAccess(const MemConfig &cfg, const ModuleMapping &map,
+               const std::vector<Request> &stream)
+{
+    MemorySystem sys(cfg, map);
+    return sys.run(stream);
+}
+
+std::vector<std::uint64_t>
+AccessResult::deliveryOrder() const
+{
+    std::vector<std::uint64_t> order;
+    order.reserve(deliveries.size());
+    for (const auto &d : deliveries)
+        order.push_back(d.element);
+    return order;
+}
+
+} // namespace cfva

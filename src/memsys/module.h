@@ -1,0 +1,92 @@
+/**
+ * @file
+ * One memory module: q-entry input buffer, T-cycle service, q'-entry
+ * output buffer (paper Figure 2).
+ */
+
+#ifndef CFVA_MEMSYS_MODULE_H
+#define CFVA_MEMSYS_MODULE_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "memsys/request.h"
+
+namespace cfva {
+
+/**
+ * Cycle-stepped model of a single memory module.
+ *
+ * Lifecycle of an element: it sits in the input buffer from its bus
+ * arrival until the module is free, is serviced for exactly T
+ * cycles, then moves to the output buffer where the return-bus
+ * arbiter picks it up.  If the output buffer is full at completion
+ * time the finished element blocks the module (no new service can
+ * start), which is how back-pressure propagates to the processor.
+ */
+class MemoryModule
+{
+  public:
+    /**
+     * @param id            module number
+     * @param serviceCycles T, the memory/processor cycle ratio
+     * @param inputDepth    q, input buffer entries (>= 1)
+     * @param outputDepth   q', output buffer entries (>= 1)
+     */
+    MemoryModule(ModuleId id, Cycle serviceCycles, unsigned inputDepth,
+                 unsigned outputDepth);
+
+    /** True iff the input buffer can accept one more request. */
+    bool canAccept() const;
+
+    /**
+     * Enqueues a request that arrives at cycle @p arrival.
+     * canAccept() must be true.
+     */
+    void accept(const Delivery &d);
+
+    /**
+     * Retires a completed service into the output buffer if its
+     * T cycles have elapsed by cycle @p now and there is space.
+     * Must run before tryStart() each cycle so a module can retire
+     * and begin a new service in the same cycle.
+     */
+    void retire(Cycle now);
+
+    /**
+     * Starts servicing the input-buffer head if the module is free
+     * and the head has arrived by cycle @p now.
+     */
+    void tryStart(Cycle now);
+
+    /** Oldest output-buffer entry, if any (for the return bus). */
+    const Delivery *outputHead() const;
+
+    /** Removes the output-buffer head (the bus delivered it). */
+    Delivery popOutput();
+
+    /** True iff no element is buffered, in service, or undelivered. */
+    bool drained() const;
+
+    ModuleId id() const { return id_; }
+    Cycle serviceCycles() const { return serviceCycles_; }
+
+    /** Peak input-buffer occupancy seen so far (for benches). */
+    unsigned peakInputOccupancy() const { return peakInput_; }
+
+  private:
+    ModuleId id_;
+    Cycle serviceCycles_;
+    unsigned inputDepth_;
+    unsigned outputDepth_;
+    unsigned peakInput_ = 0;
+
+    std::deque<Delivery> input_;
+    std::optional<Delivery> inService_;
+    std::deque<Delivery> output_;
+};
+
+} // namespace cfva
+
+#endif // CFVA_MEMSYS_MODULE_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-port extension: several vectors accessed simultaneously.
+ *
+ * The paper's conclusions name this as future work: "several
+ * vectors ... accessed simultaneously, either in a single processor
+ * with several memory ports or in a multiprocessor".  This module
+ * provides the substrate to explore it: P ports each issue one
+ * request per cycle from an independent stream (any ordering) into
+ * the shared modules, and each port has its own return bus.
+ * Modules and their buffers are shared, so inter-port interference
+ * emerges naturally — and the Sec. 5E remark that extra modules
+ * "can be justified by ... simultaneous access to several vectors"
+ * becomes measurable (bench_multi_vector).
+ */
+
+#ifndef CFVA_MEMSYS_MULTI_PORT_H
+#define CFVA_MEMSYS_MULTI_PORT_H
+
+#include <vector>
+
+#include "mapping/mapping.h"
+#include "memsys/memory_system.h"
+
+namespace cfva {
+
+/** Outcome of a simultaneous multi-vector access. */
+struct MultiPortResult
+{
+    /** Per-port results (latency, stalls, deliveries). */
+    std::vector<AccessResult> ports;
+
+    /** Cycles from the first issue to the last delivery overall. */
+    Cycle makespan = 0;
+
+    /** True iff every port ran at its own minimum latency. */
+    bool
+    allConflictFree() const
+    {
+        for (const auto &p : ports) {
+            if (!p.conflictFree)
+                return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * Simulates @p streams issued simultaneously, one request per port
+ * per cycle.  Issue priority rotates round robin among ports each
+ * cycle so no port starves; each port has a private return bus
+ * delivering at most one of its elements per cycle.
+ *
+ * @param cfg      memory shape (modules, T, buffers)
+ * @param map      shared address mapping
+ * @param streams  one request stream per port (P = streams.size())
+ */
+MultiPortResult
+simulateMultiPort(const MemConfig &cfg, const ModuleMapping &map,
+                  const std::vector<std::vector<Request>> &streams);
+
+} // namespace cfva
+
+#endif // CFVA_MEMSYS_MULTI_PORT_H

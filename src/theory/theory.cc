@@ -1,0 +1,181 @@
+#include "theory/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cfva::theory {
+
+std::uint64_t
+periodMatched(unsigned s, unsigned t, unsigned x)
+{
+    if (x >= s + t)
+        return 1;
+    return std::uint64_t{1} << (s + t - x);
+}
+
+std::uint64_t
+periodSectioned(unsigned y, unsigned t, unsigned x)
+{
+    if (x >= y + t)
+        return 1;
+    return std::uint64_t{1} << (y + t - x);
+}
+
+unsigned
+theoremN(unsigned s, unsigned t, unsigned lambda)
+{
+    cfva_assert(lambda >= t, "Theorem 1 needs lambda >= t");
+    return std::min(lambda - t, s);
+}
+
+unsigned
+theoremR(unsigned y, unsigned t, unsigned lambda)
+{
+    cfva_assert(lambda >= t, "Theorem 3 needs lambda >= t");
+    return std::min(lambda - t, y);
+}
+
+FamilyWindow
+matchedWindow(unsigned s, unsigned t, unsigned lambda)
+{
+    const unsigned n = theoremN(s, t, lambda);
+    return {static_cast<int>(s - n), static_cast<int>(s)};
+}
+
+FamilyWindow
+orderedMatchedWindow(unsigned s)
+{
+    return {static_cast<int>(s), static_cast<int>(s)};
+}
+
+FamilyWindow
+orderedUnmatchedWindow(unsigned s, unsigned m, unsigned t)
+{
+    cfva_assert(m >= t, "unmatched memory needs m >= t");
+    return {static_cast<int>(s), static_cast<int>(s + m - t)};
+}
+
+FamilyWindow
+simpleUnmatchedWindow(unsigned s, unsigned m, unsigned t,
+                      unsigned lambda)
+{
+    cfva_assert(m >= t, "unmatched memory needs m >= t");
+    const unsigned n = theoremN(s, t, lambda);
+    return {static_cast<int>(s - n), static_cast<int>(s + m - t)};
+}
+
+SectionedWindows
+sectionedWindows(unsigned s, unsigned y, unsigned t, unsigned lambda)
+{
+    const unsigned n = theoremN(s, t, lambda);
+    const unsigned r = theoremR(y, t, lambda);
+    SectionedWindows w;
+    w.low = {static_cast<int>(s - n), static_cast<int>(s)};
+    w.high = {static_cast<int>(y - r), static_cast<int>(y)};
+    return w;
+}
+
+unsigned
+recommendedS(unsigned t, unsigned lambda)
+{
+    cfva_assert(lambda >= 2 * t, "s = lambda-t must be >= t");
+    return lambda - t;
+}
+
+unsigned
+recommendedY(unsigned t, unsigned lambda)
+{
+    return 2 * (lambda - t) + 1;
+}
+
+double
+conflictFreeFraction(unsigned w)
+{
+    return 1.0 - std::ldexp(1.0, -static_cast<int>(w + 1));
+}
+
+double
+windowFraction(const FamilyWindow &win)
+{
+    if (win.empty())
+        return 0.0;
+    // sum_{x=lo}^{hi} 2^{-(x+1)} telescopes to 2^{-lo} - 2^{-(hi+1)}.
+    return std::ldexp(1.0, -win.lo) - std::ldexp(1.0, -(win.hi + 1));
+}
+
+double
+efficiency(unsigned w, unsigned t)
+{
+    // Average cycles per element under the uniform family
+    // distribution (Sec. 5B):
+    //   families 0..w:      weight 1 - 2^{-(w+1)}, 1 cycle/elem;
+    //   family w+i, i<=t:   weight 2^{-(w+i+1)},
+    //                       2^t / 2^{t-i} = 2^i cycles/elem,
+    //                       contributing 2^{-(w+1)} each, total
+    //                       t * 2^{-(w+1)};
+    //   family w+i, i>t:    one module only, 2^t cycles/elem; the
+    //                       geometric tail sums to 2^{-(w+1)},
+    //                       exactly cancelling the window's deficit.
+    // Total: 1 + t * 2^{-(w+1)}, hence the paper's closed form.
+    const double penalty =
+        static_cast<double>(t) * std::ldexp(1.0, -static_cast<int>(w + 1));
+    return 1.0 / (1.0 + penalty);
+}
+
+std::uint64_t
+minimumLatency(std::uint64_t length, std::uint64_t tCycles)
+{
+    return length + tCycles + 1;
+}
+
+std::uint64_t
+subsequenceLatencyBound(std::uint64_t length, std::uint64_t tCycles)
+{
+    return 2 * tCycles + length;
+}
+
+unsigned
+orderedFamiliesAnyLength(unsigned m, unsigned t)
+{
+    cfva_assert(m >= t, "unmatched memory needs m >= t");
+    return m - t + 1;
+}
+
+unsigned
+proposedFamiliesAnyLength()
+{
+    // Only x = s and x = y stay conflict free for arbitrary length
+    // (Sec. 5H): every other family needs L to be a multiple of its
+    // period.
+    return 2;
+}
+
+unsigned
+proposedFamiliesForLength(unsigned t, unsigned lambda)
+{
+    cfva_assert(lambda >= t, "need lambda >= t");
+    return 2 * (lambda - t + 1);
+}
+
+unsigned
+maxFamiliesOutOfOrder(unsigned t, unsigned lambda)
+{
+    return proposedFamiliesForLength(t, lambda) + (t - 1);
+}
+
+std::optional<unsigned>
+log2ModulesForFamilies(unsigned families, unsigned t, unsigned lambda)
+{
+    cfva_assert(lambda >= 2 * t, "need lambda >= 2t");
+    const unsigned matched = lambda - t + 1;      // M = T
+    const unsigned unmatched = 2 * (lambda - t + 1); // M = T^2
+    if (families <= matched)
+        return t;
+    if (families <= unmatched)
+        return 2 * t;
+    return std::nullopt;
+}
+
+} // namespace cfva::theory

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Analytic results of the paper as executable formulas.
+ *
+ * Everything the evaluation section states in closed form lives
+ * here: periods, conflict-free windows (Theorems 1 and 3), the
+ * fraction f of conflict-free strides (Sec. 5A), the efficiency
+ * eta under a uniform stride distribution (Sec. 5B), family counts
+ * versus vector length (Secs. 5G/5H), and the module-cost ablation
+ * (Sec. 5E).  The test suite checks these predictions against the
+ * measuring tools in mapping/analysis.h and the simulator.
+ */
+
+#ifndef CFVA_THEORY_THEORY_H
+#define CFVA_THEORY_THEORY_H
+
+#include <cstdint>
+#include <optional>
+
+namespace cfva::theory {
+
+/**
+ * Period P_x (in elements) of the canonical temporal distribution
+ * of an Eq. 1 mapping: 2^{s+t-x}, clamped to 1 when x > s+t.
+ */
+std::uint64_t periodMatched(unsigned s, unsigned t, unsigned x);
+
+/** Period for the Eq. 2 mapping: 2^{y+t-x}, clamped to 1. */
+std::uint64_t periodSectioned(unsigned y, unsigned t, unsigned x);
+
+/**
+ * An inclusive window [lo, hi] of stride-family exponents x.  An
+ * empty window is represented by lo > hi.
+ */
+struct FamilyWindow
+{
+    int lo = 0;
+    int hi = -1;
+
+    bool
+    contains(unsigned x) const
+    {
+        return static_cast<int>(x) >= lo && static_cast<int>(x) <= hi;
+    }
+
+    bool empty() const { return lo > hi; }
+
+    /** Number of families in the window. */
+    unsigned
+    families() const
+    {
+        return empty() ? 0 : static_cast<unsigned>(hi - lo + 1);
+    }
+};
+
+/** N = min(lambda - t, s) of Theorem 1. */
+unsigned theoremN(unsigned s, unsigned t, unsigned lambda);
+
+/** R = min(lambda - t, y) of Theorem 3. */
+unsigned theoremR(unsigned y, unsigned t, unsigned lambda);
+
+/**
+ * Theorem 1 window for the matched memory with out-of-order access:
+ * s-N <= x <= s for vectors of length 2^lambda.
+ */
+FamilyWindow matchedWindow(unsigned s, unsigned t, unsigned lambda);
+
+/**
+ * The single conflict-free family of in-order access on Eq. 1 (any
+ * length, any start): x = s.
+ */
+FamilyWindow orderedMatchedWindow(unsigned s);
+
+/**
+ * In-order window for Eq. 1 with m > t (Sec. 4 opening, after
+ * Harper [6]): x in [s, s+m-t], any length.
+ */
+FamilyWindow orderedUnmatchedWindow(unsigned s, unsigned m,
+                                    unsigned t);
+
+/**
+ * Sec. 4 combined scheme on the simple (Eq. 1 with t -> m) mapping:
+ * out-of-order below s plus in-order above: [s-N, s+m-t].
+ */
+FamilyWindow simpleUnmatchedWindow(unsigned s, unsigned m, unsigned t,
+                                   unsigned lambda);
+
+/** The two Theorem 3 windows: [s-N, s] and [y-R, y]. */
+struct SectionedWindows
+{
+    FamilyWindow low;  //!< Lemma 2 subsequences (w = s)
+    FamilyWindow high; //!< Lemma 4 subsequences (w = y)
+
+    /**
+     * True iff the windows fuse into one contiguous window, the
+     * Sec. 4.3 condition y - R = s + 1.
+     */
+    bool
+    fused() const
+    {
+        return high.lo == low.hi + 1;
+    }
+
+    /** The fused window; call only when fused(). */
+    FamilyWindow
+    fusedWindow() const
+    {
+        return {low.lo, high.hi};
+    }
+};
+
+/** Theorem 3 windows for Eq. 2 with out-of-order access. */
+SectionedWindows sectionedWindows(unsigned s, unsigned y, unsigned t,
+                                  unsigned lambda);
+
+/**
+ * The paper's recommended parameters: s = lambda-t (Sec. 3.3) and
+ * y = 2(lambda-t)+1 (Sec. 4.3), giving the windows 0..lambda-t and
+ * 0..2(lambda-t)+1 respectively.
+ */
+unsigned recommendedS(unsigned t, unsigned lambda);
+unsigned recommendedY(unsigned t, unsigned lambda);
+
+/**
+ * Fraction of all strides that belong to families 0..w (Sec. 5A):
+ * f = 1 - 2^{-(w+1)}.
+ */
+double conflictFreeFraction(unsigned w);
+
+/**
+ * Fraction of strides in an arbitrary window [lo, hi]:
+ * sum_{x=lo}^{hi} 2^{-(x+1)} = 2^{-lo} - 2^{-(hi+1)}.
+ */
+double windowFraction(const FamilyWindow &win);
+
+/**
+ * Efficiency eta under a uniform distribution over families
+ * (Sec. 5B) for a conflict-free window 0..w on a memory with
+ * service time 2^t:
+ *
+ *     eta = 1 / (1 + t * 2^{-(w+1)})
+ *
+ * Derivation (comments in the .cc): families inside the window cost
+ * 1 cycle/element; family w+i costs 2^t / ceil(2^{t-i}) cycles; the
+ * geometric tail sums so that the paper's compact form is exact
+ * under this model, not just an approximation.
+ */
+double efficiency(unsigned w, unsigned t);
+
+/** Minimum (conflict-free) latency of an L-element access. */
+std::uint64_t minimumLatency(std::uint64_t length,
+                             std::uint64_t tCycles);
+
+/**
+ * Latency bound for the Sec. 3.1 subsequence ordering with q = 2,
+ * q' = 1 buffering: at most 2T + L, i.e. excess at most T-1 over
+ * the minimum (paper citing [15]).
+ */
+std::uint64_t subsequenceLatencyBound(std::uint64_t length,
+                                      std::uint64_t tCycles);
+
+/**
+ * Conflict-free family counts versus vector length (Sec. 5H), for
+ * the unmatched memory with m = 2t.
+ */
+unsigned orderedFamiliesAnyLength(unsigned m, unsigned t);
+unsigned proposedFamiliesAnyLength();
+unsigned proposedFamiliesForLength(unsigned t, unsigned lambda);
+
+/**
+ * Sec. 5G: out-of-order access on Eq. 2 admits t-1 further families
+ * beyond Theorem 3 (with more complex subsequences, not modeled in
+ * hardware here, as in the paper).
+ */
+unsigned maxFamiliesOutOfOrder(unsigned t, unsigned lambda);
+
+/**
+ * Sec. 5E ablation: modules required to reach a conflict-free
+ * window of @p families families for vectors of length 2^lambda,
+ * using out-of-order access.  Matched memory (M = T) reaches
+ * lambda-t+1 families; doubling the window requires squaring the
+ * module count (M = T^2).  Returns nullopt when the target exceeds
+ * what M = T^2 provides.
+ */
+std::optional<unsigned> log2ModulesForFamilies(unsigned families,
+                                               unsigned t,
+                                               unsigned lambda);
+
+} // namespace cfva::theory
+
+#endif // CFVA_THEORY_THEORY_H

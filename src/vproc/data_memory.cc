@@ -1,0 +1,60 @@
+#include "vproc/data_memory.h"
+
+#include "common/logging.h"
+
+namespace cfva {
+
+DataMemory::DataMemory(const ModuleMapping &map)
+    : map_(map), banks_(map.modules())
+{
+}
+
+void
+DataMemory::store(Addr a, std::uint64_t value)
+{
+    const MappedLocation loc = map_.locate(a);
+    cfva_assert(loc.module < banks_.size(), "module out of range");
+    auto &bank = banks_[loc.module];
+    auto it = bank.find(loc.displacement);
+    if (it != bank.end()) {
+        cfva_assert(it->second.owner == a,
+                    "mapping collision: addresses ", it->second.owner,
+                    " and ", a, " both map to module ", loc.module,
+                    " displacement ", loc.displacement);
+        it->second.value = value;
+    } else {
+        bank.emplace(loc.displacement, Cell{a, value});
+    }
+}
+
+std::uint64_t
+DataMemory::load(Addr a) const
+{
+    const MappedLocation loc = map_.locate(a);
+    const auto &bank = banks_[loc.module];
+    auto it = bank.find(loc.displacement);
+    if (it == bank.end())
+        return 0;
+    cfva_assert(it->second.owner == a,
+                "mapping collision on load: cell owned by ",
+                it->second.owner, ", asked for ", a);
+    return it->second.value;
+}
+
+bool
+DataMemory::contains(Addr a) const
+{
+    const MappedLocation loc = map_.locate(a);
+    const auto &bank = banks_[loc.module];
+    auto it = bank.find(loc.displacement);
+    return it != bank.end() && it->second.owner == a;
+}
+
+std::size_t
+DataMemory::moduleSize(ModuleId module) const
+{
+    cfva_assert(module < banks_.size(), "module out of range");
+    return banks_[module].size();
+}
+
+} // namespace cfva

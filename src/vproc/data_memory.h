@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional data memory organized by (module, displacement).
+ *
+ * Values are physically stored per module at the displacement the
+ * mapping computes — not in a flat array — so every load/store
+ * exercises the full two-dimensional mapping.  A collision (two
+ * addresses landing on the same module/displacement pair) is a
+ * bijection violation and panics; the vproc integration tests rely
+ * on this to prove the mappings in src/mapping are genuinely
+ * invertible, not just conflict-analysis functions.
+ */
+
+#ifndef CFVA_VPROC_DATA_MEMORY_H
+#define CFVA_VPROC_DATA_MEMORY_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mapping/mapping.h"
+
+namespace cfva {
+
+/** Word-addressed memory distributed over the mapped modules. */
+class DataMemory
+{
+  public:
+    /** @param map  address mapping; must outlive the memory. */
+    explicit DataMemory(const ModuleMapping &map);
+
+    /** Stores @p value at address @p a. */
+    void store(Addr a, std::uint64_t value);
+
+    /** Loads the value at @p a; 0 if never written. */
+    std::uint64_t load(Addr a) const;
+
+    /** True iff @p a has been written. */
+    bool contains(Addr a) const;
+
+    /** Number of values held by module @p module. */
+    std::size_t moduleSize(ModuleId module) const;
+
+    const ModuleMapping &mapping() const { return map_; }
+
+  private:
+    struct Cell
+    {
+        Addr owner;          //!< address that wrote this cell
+        std::uint64_t value;
+    };
+
+    const ModuleMapping &map_;
+    std::vector<std::unordered_map<Addr, Cell>> banks_;
+};
+
+} // namespace cfva
+
+#endif // CFVA_VPROC_DATA_MEMORY_H

@@ -1,0 +1,128 @@
+#include "vproc/isa.h"
+
+#include <sstream>
+
+namespace cfva {
+
+std::string
+Instruction::describe() const
+{
+    std::ostringstream os;
+    switch (op) {
+      case Opcode::VLoad:
+        os << "vload  v" << vd << ", [" << base << " + " << stride
+           << "*i]";
+        break;
+      case Opcode::VStore:
+        os << "vstore v" << vs1 << ", [" << base << " + " << stride
+           << "*i]";
+        break;
+      case Opcode::VAdd:
+        os << "vadd   v" << vd << ", v" << vs1 << ", v" << vs2;
+        break;
+      case Opcode::VSub:
+        os << "vsub   v" << vd << ", v" << vs1 << ", v" << vs2;
+        break;
+      case Opcode::VMul:
+        os << "vmul   v" << vd << ", v" << vs1 << ", v" << vs2;
+        break;
+      case Opcode::VAddS:
+        os << "vadds  v" << vd << ", v" << vs1 << ", #" << scalar;
+        break;
+      case Opcode::VMulS:
+        os << "vmuls  v" << vd << ", v" << vs1 << ", #" << scalar;
+        break;
+      case Opcode::SetVl:
+        os << "setvl  " << scalar;
+        break;
+    }
+    return os.str();
+}
+
+Instruction
+vload(unsigned vd, Addr base, std::uint64_t stride)
+{
+    Instruction i;
+    i.op = Opcode::VLoad;
+    i.vd = vd;
+    i.base = base;
+    i.stride = stride;
+    return i;
+}
+
+Instruction
+vstore(unsigned vs1, Addr base, std::uint64_t stride)
+{
+    Instruction i;
+    i.op = Opcode::VStore;
+    i.vs1 = vs1;
+    i.base = base;
+    i.stride = stride;
+    return i;
+}
+
+Instruction
+vadd(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    Instruction i;
+    i.op = Opcode::VAdd;
+    i.vd = vd;
+    i.vs1 = vs1;
+    i.vs2 = vs2;
+    return i;
+}
+
+Instruction
+vsub(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    Instruction i;
+    i.op = Opcode::VSub;
+    i.vd = vd;
+    i.vs1 = vs1;
+    i.vs2 = vs2;
+    return i;
+}
+
+Instruction
+vmul(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    Instruction i;
+    i.op = Opcode::VMul;
+    i.vd = vd;
+    i.vs1 = vs1;
+    i.vs2 = vs2;
+    return i;
+}
+
+Instruction
+vadds(unsigned vd, unsigned vs1, std::uint64_t scalar)
+{
+    Instruction i;
+    i.op = Opcode::VAddS;
+    i.vd = vd;
+    i.vs1 = vs1;
+    i.scalar = scalar;
+    return i;
+}
+
+Instruction
+vmuls(unsigned vd, unsigned vs1, std::uint64_t scalar)
+{
+    Instruction i;
+    i.op = Opcode::VMulS;
+    i.vd = vd;
+    i.vs1 = vs1;
+    i.scalar = scalar;
+    return i;
+}
+
+Instruction
+setvl(std::uint64_t vl)
+{
+    Instruction i;
+    i.op = Opcode::SetVl;
+    i.scalar = vl;
+    return i;
+}
+
+} // namespace cfva

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal vector instruction set for the vproc substrate.
+ *
+ * Just enough ISA to run the kernels the paper's introduction
+ * motivates (strided loads/stores plus elementwise arithmetic) on
+ * top of the VectorAccessUnit, with strip-mined vector lengths.
+ * Modeled after the register-register vector style of the era
+ * (Cray-like): LOAD/STORE move whole (or strip-mined) vector
+ * registers; arithmetic is register-to-register.
+ */
+
+#ifndef CFVA_VPROC_ISA_H
+#define CFVA_VPROC_ISA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace cfva {
+
+/** Vector opcodes. */
+enum class Opcode
+{
+    VLoad,  //!< vd   <- memory[base + stride*i], i < vl
+    VStore, //!< memory[base + stride*i] <- vs1
+    VAdd,   //!< vd[i] <- vs1[i] + vs2[i]
+    VSub,   //!< vd[i] <- vs1[i] - vs2[i]
+    VMul,   //!< vd[i] <- vs1[i] * vs2[i]
+    VAddS,  //!< vd[i] <- vs1[i] + scalar
+    VMulS,  //!< vd[i] <- vs1[i] * scalar
+    SetVl,  //!< set the active vector length (strip mining)
+};
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::SetVl;
+    unsigned vd = 0;       //!< destination register
+    unsigned vs1 = 0;      //!< first source register
+    unsigned vs2 = 0;      //!< second source register
+    Addr base = 0;         //!< memory base address
+    std::uint64_t stride = 1;  //!< memory stride (elements)
+    std::uint64_t scalar = 0;  //!< scalar immediate / new vl
+
+    std::string describe() const;
+};
+
+/** Builders, so example programs read like assembly listings. */
+Instruction vload(unsigned vd, Addr base, std::uint64_t stride);
+Instruction vstore(unsigned vs1, Addr base, std::uint64_t stride);
+Instruction vadd(unsigned vd, unsigned vs1, unsigned vs2);
+Instruction vsub(unsigned vd, unsigned vs1, unsigned vs2);
+Instruction vmul(unsigned vd, unsigned vs1, unsigned vs2);
+Instruction vadds(unsigned vd, unsigned vs1, std::uint64_t scalar);
+Instruction vmuls(unsigned vd, unsigned vs1, std::uint64_t scalar);
+Instruction setvl(std::uint64_t vl);
+
+/** A program is a straight-line instruction sequence. */
+using Program = std::vector<Instruction>;
+
+} // namespace cfva
+
+#endif // CFVA_VPROC_ISA_H

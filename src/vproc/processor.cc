@@ -1,0 +1,142 @@
+#include "vproc/processor.h"
+
+#include "common/logging.h"
+
+namespace cfva {
+
+VectorProcessor::VectorProcessor(const VectorUnitConfig &cfg,
+                                 unsigned registers)
+    : unit_(cfg), memory_(unit_.mapping()),
+      regs_(registers, cfg.registerLength(),
+            RegisterFileOrg::RandomAccess),
+      vl_(cfg.registerLength())
+{
+}
+
+void
+VectorProcessor::execLoad(const Instruction &inst)
+{
+    const Stride stride(inst.stride);
+    const AccessPlan plan = unit_.plan(inst.base, stride, vl_);
+    const AccessResult result = unit_.execute(plan);
+
+    // Write the register in delivery order — the order the return
+    // bus actually produced elements.  Out-of-order delivery is why
+    // the file must be random access (Sec. 5D).
+    regs_.beginWrite(inst.vd);
+    for (const auto &d : result.deliveries)
+        regs_.write(inst.vd, d.element, memory_.load(d.addr));
+
+    stats_.memoryAccesses += 1;
+    stats_.memoryElements += vl_;
+    stats_.memoryCycles += result.latency;
+    stats_.cycles += result.latency;
+    stats_.stallCycles += result.stallCycles;
+    if (result.conflictFree)
+        ++stats_.conflictFreeAccesses;
+
+    // Open a chain window for the next instruction (Sec. 5F): only
+    // a conflict-free load has a deterministic delivery schedule.
+    chainSrc_ = {chaining_ && result.conflictFree, inst.vd};
+}
+
+void
+VectorProcessor::execStore(const Instruction &inst)
+{
+    const Stride stride(inst.stride);
+    const AccessPlan plan = unit_.plan(inst.base, stride, vl_);
+    const AccessResult result = unit_.execute(plan);
+
+    for (const auto &d : result.deliveries)
+        memory_.store(d.addr, regs_.read(inst.vs1, d.element));
+
+    stats_.memoryAccesses += 1;
+    stats_.memoryElements += vl_;
+    stats_.memoryCycles += result.latency;
+    stats_.cycles += result.latency;
+    stats_.stallCycles += result.stallCycles;
+    if (result.conflictFree)
+        ++stats_.conflictFreeAccesses;
+    chainSrc_.valid = false; // a store breaks the chain window
+}
+
+void
+VectorProcessor::execArith(const Instruction &inst)
+{
+    for (std::uint64_t i = 0; i < vl_; ++i) {
+        const std::uint64_t a = regs_.read(inst.vs1, i);
+        std::uint64_t r = 0;
+        switch (inst.op) {
+          case Opcode::VAdd:
+            r = a + regs_.read(inst.vs2, i);
+            break;
+          case Opcode::VSub:
+            r = a - regs_.read(inst.vs2, i);
+            break;
+          case Opcode::VMul:
+            r = a * regs_.read(inst.vs2, i);
+            break;
+          case Opcode::VAddS:
+            r = a + inst.scalar;
+            break;
+          case Opcode::VMulS:
+            r = a * inst.scalar;
+            break;
+          default:
+            cfva_panic("non-arithmetic opcode in execArith");
+        }
+        if (i == 0)
+            regs_.beginWrite(inst.vd);
+        regs_.write(inst.vd, i, r);
+    }
+
+    // Timing: one element per cycle through the execute pipeline.
+    // If this instruction chains on the immediately preceding
+    // conflict-free LOAD, the element stream overlaps the load's
+    // delivery stream and only the one-cycle tail remains.
+    const bool uses_two_sources =
+        inst.op == Opcode::VAdd || inst.op == Opcode::VSub
+        || inst.op == Opcode::VMul;
+    const bool chained = chainSrc_.valid
+        && (inst.vs1 == chainSrc_.reg
+            || (uses_two_sources && inst.vs2 == chainSrc_.reg));
+    if (chained) {
+        stats_.executeCycles += 1;
+        stats_.cycles += 1;
+        ++stats_.chainedOps;
+    } else {
+        stats_.executeCycles += vl_;
+        stats_.cycles += vl_;
+    }
+    chainSrc_.valid = false;
+}
+
+void
+VectorProcessor::run(const Program &program)
+{
+    for (const auto &inst : program) {
+        ++stats_.instructions;
+        switch (inst.op) {
+          case Opcode::VLoad:
+            execLoad(inst);
+            break;
+          case Opcode::VStore:
+            execStore(inst);
+            break;
+          case Opcode::SetVl:
+            cfva_assert(inst.scalar >= 1
+                        && inst.scalar <= regs_.length(),
+                        "vl ", inst.scalar, " out of range [1, ",
+                        regs_.length(), "]");
+            vl_ = inst.scalar;
+            ++stats_.cycles;
+            chainSrc_.valid = false;
+            break;
+          default:
+            execArith(inst);
+            break;
+        }
+    }
+}
+
+} // namespace cfva

@@ -1,0 +1,73 @@
+#include "vproc/stripmine.h"
+
+#include "common/logging.h"
+
+namespace cfva {
+
+std::vector<Strip>
+stripMine(std::uint64_t n, std::uint64_t registerLength)
+{
+    cfva_assert(registerLength >= 1, "register length must be >= 1");
+    std::vector<Strip> strips;
+    std::uint64_t first = 0;
+    while (first < n) {
+        const std::uint64_t len =
+            std::min(registerLength, n - first);
+        strips.push_back({first, len});
+        first += len;
+    }
+    return strips;
+}
+
+Program
+emitElementwise(Opcode op, std::uint64_t n,
+                std::uint64_t registerLength, Addr baseX,
+                std::uint64_t strideX, Addr baseY,
+                std::uint64_t strideY, Addr baseZ,
+                std::uint64_t strideZ)
+{
+    cfva_assert(op == Opcode::VAdd || op == Opcode::VSub
+                    || op == Opcode::VMul,
+                "emitElementwise supports VAdd/VSub/VMul only");
+
+    Program prog;
+    for (const Strip &strip : stripMine(n, registerLength)) {
+        prog.push_back(setvl(strip.length));
+        prog.push_back(vload(0, baseX + strideX * strip.firstElement,
+                             strideX));
+        prog.push_back(vload(1, baseY + strideY * strip.firstElement,
+                             strideY));
+        Instruction arith;
+        arith.op = op;
+        arith.vd = 2;
+        arith.vs1 = 0;
+        arith.vs2 = 1;
+        prog.push_back(arith);
+        prog.push_back(vstore(2, baseZ + strideZ * strip.firstElement,
+                              strideZ));
+    }
+    return prog;
+}
+
+Program
+emitAxpy(std::uint64_t a, std::uint64_t n,
+         std::uint64_t registerLength, Addr baseX,
+         std::uint64_t strideX, Addr baseY, std::uint64_t strideY,
+         Addr baseZ, std::uint64_t strideZ)
+{
+    Program prog;
+    for (const Strip &strip : stripMine(n, registerLength)) {
+        prog.push_back(setvl(strip.length));
+        prog.push_back(vload(0, baseX + strideX * strip.firstElement,
+                             strideX));
+        prog.push_back(vmuls(2, 0, a));
+        prog.push_back(vload(1, baseY + strideY * strip.firstElement,
+                             strideY));
+        prog.push_back(vadd(3, 2, 1));
+        prog.push_back(vstore(3, baseZ + strideZ * strip.firstElement,
+                              strideZ));
+    }
+    return prog;
+}
+
+} // namespace cfva

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Strip-mining helper — the compiler's role in the paper.
+ *
+ * The paper assumes the compiler strip-mines long vectors so that
+ * "a very high fraction of the accesses are of vectors of length
+ * equal to that of the registers" (Sec. 1) and splits leftover
+ * short vectors per Sec. 5C.  stripMine() performs that division;
+ * emitMap()/emitElementwise() generate the corresponding vproc
+ * programs so examples and tests can run realistic strip-mined
+ * kernels.
+ */
+
+#ifndef CFVA_VPROC_STRIPMINE_H
+#define CFVA_VPROC_STRIPMINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "vproc/isa.h"
+
+namespace cfva {
+
+/** One strip of a long vector operation. */
+struct Strip
+{
+    std::uint64_t firstElement = 0; //!< index of first element
+    std::uint64_t length = 0;       //!< elements in this strip
+
+    bool operator==(const Strip &o) const = default;
+};
+
+/**
+ * Splits @p n elements into full strips of @p registerLength plus
+ * at most one short tail strip.
+ */
+std::vector<Strip> stripMine(std::uint64_t n,
+                             std::uint64_t registerLength);
+
+/**
+ * Emits a strip-mined two-input elementwise kernel
+ *
+ *     z[i] = xOp(x[i], y[i])   for i in [0, n)
+ *
+ * over strided operands: x at baseX + strideX*i, etc.  @p op must
+ * be one of VAdd/VSub/VMul.  Uses registers v0 (x), v1 (y), v2 (z).
+ */
+Program emitElementwise(Opcode op, std::uint64_t n,
+                        std::uint64_t registerLength,
+                        Addr baseX, std::uint64_t strideX,
+                        Addr baseY, std::uint64_t strideY,
+                        Addr baseZ, std::uint64_t strideZ);
+
+/**
+ * Emits strip-mined AXPY: z[i] = a * x[i] + y[i] over strided
+ * operands (the daxpy of the examples, in integer arithmetic).
+ */
+Program emitAxpy(std::uint64_t a, std::uint64_t n,
+                 std::uint64_t registerLength,
+                 Addr baseX, std::uint64_t strideX,
+                 Addr baseY, std::uint64_t strideY,
+                 Addr baseZ, std::uint64_t strideZ);
+
+} // namespace cfva
+
+#endif // CFVA_VPROC_STRIPMINE_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the Fig. 5 / Fig. 6 AGU hardware models: they must
+ * reproduce the pure ordering generators cycle for cycle, and the
+ * cost accounting must match the paper's Sec. 5D inventory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "access/agu.h"
+#include "access/hw_cost.h"
+#include "mapping/xor_matched.h"
+#include "mapping/xor_sectioned.h"
+#include "test_util.h"
+
+namespace cfva {
+namespace {
+
+TEST(SubsequenceAgu, MatchesGeneratorOnSec3Example)
+{
+    const auto plan = makeSubsequencePlan(3, 3, Stride(12), 64);
+    SubsequenceAgu agu(16, plan);
+    const auto expect = subsequenceOrder(16, plan);
+    const auto got = drainAgu(agu);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].addr, expect[i].addr) << "cycle " << i;
+        EXPECT_EQ(got[i].element, expect[i].element) << "cycle " << i;
+    }
+    EXPECT_TRUE(agu.done());
+    EXPECT_EQ(agu.issued(), 64u);
+}
+
+TEST(SubsequenceAgu, SteppingPastEndPanics)
+{
+    test::ScopedPanicThrow guard;
+    const auto plan = makeSubsequencePlan(2, 2, Stride(1), 16);
+    SubsequenceAgu agu(0, plan);
+    drainAgu(agu);
+    EXPECT_THROW(agu.step(), std::runtime_error);
+}
+
+/** Sweep: AGU == generator over a parameter grid. */
+class AguEquivalence : public ::testing::TestWithParam<
+    std::tuple<unsigned, unsigned, unsigned, unsigned, std::uint64_t,
+               Addr>> // t, w, lambda, x, sigma, a1
+{
+};
+
+TEST_P(AguEquivalence, SubsequenceAguMatchesGenerator)
+{
+    const auto [t, w, lambda, x, sigma, a1] = GetParam();
+    const Stride stride = Stride::fromFamily(sigma, x);
+    const std::uint64_t len = std::uint64_t{1} << lambda;
+    if (!subsequencePlanExists(t, w, stride, len))
+        GTEST_SKIP() << "no plan for this combination";
+
+    const auto plan = makeSubsequencePlan(t, w, stride, len);
+    SubsequenceAgu agu(a1, plan);
+    const auto expect = subsequenceOrder(a1, plan);
+    const auto got = drainAgu(agu);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].addr, expect[i].addr) << "cycle " << i;
+        ASSERT_EQ(got[i].element, expect[i].element) << "cycle " << i;
+    }
+}
+
+TEST_P(AguEquivalence, OutOfOrderAguMatchesConflictFreeOrder)
+{
+    const auto [t, w, lambda, x, sigma, a1] = GetParam();
+    const Stride stride = Stride::fromFamily(sigma, x);
+    const std::uint64_t len = std::uint64_t{1} << lambda;
+    if (!subsequencePlanExists(t, w, stride, len))
+        GTEST_SKIP() << "no plan for this combination";
+
+    // Reorder by the low t bits of an Eq. 1 module number with
+    // distance w — the matched-memory key.
+    const XorMatchedMapping map(t, w);
+    auto key = [&](Addr a) { return map.moduleOf(a); };
+
+    const auto plan = makeSubsequencePlan(t, w, stride, len);
+    OutOfOrderAgu agu(a1, plan, key);
+    const auto expect = conflictFreeOrderByKey(a1, plan, key);
+    const auto got = drainAgu(agu);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].addr, expect[i].addr) << "cycle " << i;
+        ASSERT_EQ(got[i].element, expect[i].element) << "cycle " << i;
+    }
+
+    // The order queue holds the first subsequence's keys.
+    const auto &order = agu.orderQueue();
+    ASSERT_EQ(order.size(), plan.elemsPerSubseq);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], key(expect[i].addr));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AguEquivalence,
+    ::testing::Combine(
+        ::testing::Values(2u, 3u),            // t
+        ::testing::Values(3u, 4u),            // w
+        ::testing::Values(5u, 6u, 7u),        // lambda
+        ::testing::Values(0u, 1u, 2u, 3u),    // x
+        ::testing::Values(1ull, 3ull, 5ull),  // sigma
+        ::testing::Values<Addr>(0, 16, 99)));
+
+TEST(OutOfOrderAgu, SectionedKeyMatchesGenerator)
+{
+    // Figure 7 mapping, section keys (x > s).
+    const XorSectionedMapping map(2, 3, 7);
+    const Stride stride = Stride::fromFamily(3, 6);
+    const auto plan = makeSubsequencePlan(2, 7, stride, 32);
+    auto key = [&](Addr a) { return map.sectionOf(a); };
+
+    OutOfOrderAgu agu(0, plan, key);
+    const auto expect = conflictFreeOrderByKey(0, plan, key);
+    const auto got = drainAgu(agu);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].addr, expect[i].addr) << "cycle " << i;
+}
+
+TEST(OutOfOrderAgu, SingleSubsequenceVector)
+{
+    // L = 2^t: only the first subsequence exists; generator 2 idles.
+    const auto plan = makeSubsequencePlan(3, 3, Stride(8), 8);
+    const XorMatchedMapping map(3, 3);
+    OutOfOrderAgu agu(5, plan,
+                      [&](Addr a) { return map.moduleOf(a); });
+    const auto got = drainAgu(agu);
+    EXPECT_EQ(got.size(), 8u);
+    EXPECT_TRUE(agu.done());
+}
+
+TEST(HwCost, Section5DInventory)
+{
+    const auto ordered = orderedAguCost(3);
+    const auto sub = subsequenceAguCost(3);
+    const auto ooo = outOfOrderAguCost(3);
+
+    // The in-order unit: one adder, FIFO register file.
+    EXPECT_EQ(ordered.adders, 1u);
+    EXPECT_EQ(ordered.latches, 0u);
+    EXPECT_EQ(ordered.registerFile, RegisterFileOrg::Fifo);
+
+    // Fig. 5: same adder count — the "practically the same
+    // complexity" claim.
+    EXPECT_EQ(sub.adders, ordered.adders);
+    EXPECT_EQ(sub.registerFile, RegisterFileOrg::RandomAccess);
+
+    // Fig. 6: two generators, 2*2^t latches, 2^t-entry queue of
+    // t-bit keys, arbiter.
+    EXPECT_EQ(ooo.adders, 2u);
+    EXPECT_EQ(ooo.latches, 16u);
+    EXPECT_EQ(ooo.queueEntries, 8u);
+    EXPECT_EQ(ooo.queueBitsPerEntry, 3u);
+    EXPECT_EQ(ooo.queueBits(), 24u);
+    EXPECT_TRUE(ooo.needsArbiter);
+    EXPECT_EQ(ooo.registerFile, RegisterFileOrg::RandomAccess);
+
+    // Storage estimate: 16 latches of (address + element index).
+    EXPECT_EQ(ooo.latchBits(32, 7), 16u * 39u);
+}
+
+} // namespace
+} // namespace cfva

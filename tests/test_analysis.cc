@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the distribution-analysis toolkit, pinned to the
+ * paper's Sec. 3 worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapping/analysis.h"
+#include "mapping/xor_matched.h"
+#include "test_util.h"
+
+namespace cfva {
+namespace {
+
+/** The Sec. 3 example system: m = t = 3, s = 3, L = 64. */
+struct Sec3Example
+{
+    XorMatchedMapping map{3, 3};
+    Addr a1 = 16;
+    Stride stride{12}; // x = 2, sigma = 3
+    std::uint64_t length = 64;
+    std::uint64_t t_cycles = 8;
+};
+
+TEST(Analysis, Sec3CanonicalTemporalDistribution)
+{
+    // Paper: P_x = 16 and the CTP is
+    //   2, 7, 5, 2, 0, 5, 3, 0, 6, 3, 1, 6, 4, 1, 7, 4
+    // repeated for each of the four periods.
+    Sec3Example ex;
+    const std::vector<ModuleId> expect = {2, 7, 5, 2, 0, 5, 3, 0,
+                                          6, 3, 1, 6, 4, 1, 7, 4};
+    const auto td =
+        canonicalTemporal(ex.map, ex.a1, ex.stride, ex.length);
+    ASSERT_EQ(td.size(), 64u);
+    for (std::size_t i = 0; i < td.size(); ++i)
+        EXPECT_EQ(td[i], expect[i % 16]) << "element " << i;
+}
+
+TEST(Analysis, Sec3PeriodIs16)
+{
+    Sec3Example ex;
+    EXPECT_EQ(ex.map.period(ex.stride.family()), 16u);
+    EXPECT_EQ(measuredPeriod(ex.map, ex.a1, ex.stride, 16, 64), 16u);
+}
+
+TEST(Analysis, Sec3VectorIsTMatchedButNotConflictFree)
+{
+    Sec3Example ex;
+    const auto sd =
+        spatialDistribution(ex.map, ex.a1, ex.stride, ex.length);
+    // 64 elements over 8 modules: exactly 8 each (T-matched).
+    for (ModuleId m = 0; m < 8; ++m)
+        EXPECT_EQ(sd[m], 8u) << "module " << m;
+    EXPECT_TRUE(isTMatched(sd, ex.length, ex.t_cycles));
+
+    // "The access is not conflict free": element 0 (module 2) and
+    // element 3 (module 2) are closer than T = 8 requests apart.
+    const auto td =
+        canonicalTemporal(ex.map, ex.a1, ex.stride, ex.length);
+    EXPECT_FALSE(isConflictFree(td, ex.t_cycles));
+    EXPECT_EQ(firstConflict(td, ex.t_cycles), 0);
+}
+
+TEST(Analysis, Sec3OnlyFamilySIsCanonicallyConflictFree)
+{
+    // "In fact only the family with x = 3 produces a conflict-free
+    // canonical temporal distribution."
+    Sec3Example ex;
+    for (unsigned x = 0; x <= 3; ++x) {
+        const auto td = canonicalTemporal(
+            ex.map, ex.a1, Stride::fromFamily(3, x), ex.length);
+        EXPECT_EQ(isConflictFree(td, ex.t_cycles), x == 3)
+            << "x=" << x;
+    }
+}
+
+TEST(Analysis, VectorAddresses)
+{
+    const auto addrs = vectorAddresses(16, Stride(12), 4);
+    EXPECT_EQ(addrs, (std::vector<Addr>{16, 28, 40, 52}));
+}
+
+TEST(Analysis, TemporalFollowsRequests)
+{
+    Sec3Example ex;
+    // Reversed request order reverses the temporal distribution.
+    auto addrs = vectorAddresses(ex.a1, ex.stride, 16);
+    std::reverse(addrs.begin(), addrs.end());
+    const auto td = temporalDistribution(ex.map, addrs);
+    const std::vector<ModuleId> fwd = {2, 7, 5, 2, 0, 5, 3, 0,
+                                       6, 3, 1, 6, 4, 1, 7, 4};
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(td[i], fwd[15 - i]);
+}
+
+TEST(Analysis, ConflictWindowBoundaries)
+{
+    // Exactly-T-apart repeats are legal; closer repeats are not.
+    const std::vector<ModuleId> ok = {0, 1, 2, 3, 0, 1, 2, 3};
+    EXPECT_TRUE(isConflictFree(ok, 4));
+    const std::vector<ModuleId> bad = {0, 1, 2, 0, 3};
+    EXPECT_FALSE(isConflictFree(bad, 4));
+    EXPECT_EQ(firstConflict(bad, 4), 0);
+    // T = 1 never conflicts (module ready every cycle).
+    EXPECT_TRUE(isConflictFree(bad, 1));
+}
+
+TEST(Analysis, DistinctModulesShrinksAboveS)
+{
+    // Lemma 3: for x > s only 2^{s+t-x} modules are visited.
+    const XorMatchedMapping map(3, 3);
+    for (unsigned x = 4; x <= 6; ++x) {
+        const auto n = distinctModules(
+            map, 0, Stride::fromFamily(1, x), 256);
+        EXPECT_EQ(n, 1u << (3 + 3 - x)) << "x=" << x;
+    }
+}
+
+TEST(Analysis, EmptyAndSingle)
+{
+    const XorMatchedMapping map(3, 3);
+    EXPECT_TRUE(isConflictFree({}, 8));
+    EXPECT_TRUE(isConflictFree({5}, 8));
+    const auto sd = spatialDistribution(map, 9, Stride(1), 1);
+    std::uint64_t total = 0;
+    for (auto c : sd)
+        total += c;
+    EXPECT_EQ(total, 1u);
+}
+
+} // namespace
+} // namespace cfva

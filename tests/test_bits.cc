@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace cfva {
+namespace {
+
+TEST(Bits, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(3), 7u);
+    EXPECT_EQ(lowMask(8), 255u);
+    EXPECT_EQ(lowMask(63), ~std::uint64_t{0} >> 1);
+    EXPECT_EQ(lowMask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(4));
+    EXPECT_FALSE(isPow2(12));
+    EXPECT_TRUE(isPow2(std::uint64_t{1} << 63));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(255), 7u);
+    EXPECT_EQ(floorLog2(256), 8u);
+}
+
+TEST(Bits, ExactLog2)
+{
+    EXPECT_EQ(exactLog2(1), 0u);
+    EXPECT_EQ(exactLog2(8), 3u);
+    EXPECT_EQ(exactLog2(std::uint64_t{1} << 40), 40u);
+}
+
+TEST(Bits, BitField)
+{
+    // 0b1011'0110
+    const std::uint64_t v = 0xB6;
+    EXPECT_EQ(bitField(v, 0, 4), 0x6u);
+    EXPECT_EQ(bitField(v, 4, 4), 0xBu);
+    EXPECT_EQ(bitField(v, 1, 3), 0x3u);
+    EXPECT_EQ(bitField(v, 8, 8), 0u);
+}
+
+TEST(Bits, SingleBit)
+{
+    EXPECT_EQ(bit(0b100, 2), 1u);
+    EXPECT_EQ(bit(0b100, 1), 0u);
+    EXPECT_EQ(bit(~std::uint64_t{0}, 63), 1u);
+}
+
+TEST(Bits, Parity)
+{
+    EXPECT_EQ(parity(0), 0u);
+    EXPECT_EQ(parity(1), 1u);
+    EXPECT_EQ(parity(0b11), 0u);
+    EXPECT_EQ(parity(0b111), 1u);
+    EXPECT_EQ(parity(0x8000000000000001ull), 0u);
+}
+
+TEST(Bits, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xFF), 8u);
+    EXPECT_EQ(popCount(0x8000000000000001ull), 2u);
+}
+
+TEST(Bits, TrailingZeros)
+{
+    EXPECT_EQ(trailingZeros(1), 0u);
+    EXPECT_EQ(trailingZeros(12), 2u);
+    EXPECT_EQ(trailingZeros(std::uint64_t{1} << 40), 40u);
+    EXPECT_EQ(trailingZeros(96), 5u);
+}
+
+TEST(Bits, InsertField)
+{
+    EXPECT_EQ(insertField(0, 4, 4, 0xA), 0xA0u);
+    EXPECT_EQ(insertField(0xFF, 0, 4, 0), 0xF0u);
+    EXPECT_EQ(insertField(0xF0F, 4, 4, 0x5), 0xF5Fu);
+    // Field value wider than width is masked.
+    EXPECT_EQ(insertField(0, 0, 4, 0x1F), 0xFu);
+}
+
+TEST(Bits, ParityMatchesPopCount)
+{
+    for (std::uint64_t v = 0; v < 4096; ++v)
+        EXPECT_EQ(parity(v), popCount(v) & 1) << "v=" << v;
+}
+
+} // namespace
+} // namespace cfva

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the module-organized functional data memory, proving
+ * the mappings' (module, displacement) bijections on real data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapping/interleave.h"
+#include "mapping/skew.h"
+#include "mapping/xor_matched.h"
+#include "mapping/xor_sectioned.h"
+#include "test_util.h"
+#include "vproc/data_memory.h"
+
+namespace cfva {
+namespace {
+
+template <typename Mapping>
+void
+roundTripThrough(const Mapping &map)
+{
+    DataMemory mem(map);
+    for (Addr a = 0; a < 2048; ++a)
+        mem.store(a, a * 3 + 1);
+    for (Addr a = 0; a < 2048; ++a) {
+        EXPECT_TRUE(mem.contains(a));
+        EXPECT_EQ(mem.load(a), a * 3 + 1) << "a=" << a;
+    }
+    // Rewrite a few and read back.
+    mem.store(5, 999);
+    EXPECT_EQ(mem.load(5), 999u);
+}
+
+TEST(DataMemory, RoundTripInterleave)
+{
+    roundTripThrough(LowOrderInterleave(3));
+}
+
+TEST(DataMemory, RoundTripXorMatched)
+{
+    roundTripThrough(XorMatchedMapping(3, 4));
+}
+
+TEST(DataMemory, RoundTripXorSectioned)
+{
+    roundTripThrough(XorSectionedMapping(2, 3, 7));
+}
+
+TEST(DataMemory, RoundTripSkew)
+{
+    roundTripThrough(SkewedMapping(3, 4, 3));
+}
+
+TEST(DataMemory, UnwrittenReadsZero)
+{
+    const XorMatchedMapping map(3, 3);
+    DataMemory mem(map);
+    EXPECT_FALSE(mem.contains(42));
+    EXPECT_EQ(mem.load(42), 0u);
+}
+
+TEST(DataMemory, SpreadsOverModules)
+{
+    // Consecutive addresses must not pile into one module.
+    const XorMatchedMapping map(3, 3);
+    DataMemory mem(map);
+    for (Addr a = 0; a < 256; ++a)
+        mem.store(a, a);
+    for (ModuleId m = 0; m < 8; ++m)
+        EXPECT_EQ(mem.moduleSize(m), 32u) << "module " << m;
+}
+
+/** A deliberately broken mapping: collides addresses. */
+class CollidingMapping : public ModuleMapping
+{
+  public:
+    ModuleId moduleOf(Addr) const override { return 0; }
+    Addr displacementOf(Addr) const override { return 0; }
+    Addr addressOf(ModuleId, Addr) const override { return 0; }
+    unsigned moduleBits() const override { return 1; }
+    std::string name() const override { return "colliding"; }
+};
+
+TEST(DataMemory, DetectsBijectionViolation)
+{
+    test::ScopedPanicThrow guard;
+    const CollidingMapping map;
+    DataMemory mem(map);
+    mem.store(0, 1);
+    EXPECT_THROW(mem.store(1, 2), std::runtime_error);
+}
+
+} // namespace
+} // namespace cfva

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the prior-art comparator mappings: the dynamic field
+ * scheme [11] and pseudo-random interleaving [12].
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mapping/analysis.h"
+#include "mapping/dynamic.h"
+#include "mapping/prand.h"
+#include "test_util.h"
+
+namespace cfva {
+namespace {
+
+TEST(DynamicMapping, TunedFamilyConflictFreeInOrder)
+{
+    DynamicFieldMapping map(3, 0);
+    for (unsigned x = 0; x <= 6; ++x) {
+        map.retune(x);
+        for (std::uint64_t sigma : {1ull, 3ull, 63ull}) {
+            for (Addr a1 : {0ull, 7ull, 100ull}) {
+                const auto td = canonicalTemporal(
+                    map, a1, Stride::fromFamily(sigma, x), 256);
+                EXPECT_TRUE(isConflictFree(td, 8))
+                    << "x=" << x << " sigma=" << sigma;
+            }
+        }
+    }
+}
+
+TEST(DynamicMapping, UntunedFamilyConflicts)
+{
+    DynamicFieldMapping map(3, 0); // tuned for odd strides
+    const auto td =
+        canonicalTemporal(map, 0, Stride(16), 128); // family 4
+    EXPECT_FALSE(isConflictFree(td, 8));
+}
+
+TEST(DynamicMapping, RetuneForStride)
+{
+    DynamicFieldMapping map(3, 0);
+    EXPECT_EQ(map.retuneFor(Stride(12)), 2u);
+    EXPECT_EQ(map.tuned(), 2u);
+    EXPECT_EQ(map.retunes(), 1u);
+    // Retuning to the same p is free.
+    map.retuneFor(Stride(20)); // also family 2
+    EXPECT_EQ(map.retunes(), 1u);
+}
+
+TEST(DynamicMapping, RoundTripAtEachTuning)
+{
+    DynamicFieldMapping map(3, 0);
+    for (unsigned p : {0u, 2u, 5u}) {
+        map.retune(p);
+        for (Addr a = 0; a < 2048; ++a) {
+            const auto loc = map.locate(a);
+            EXPECT_EQ(map.addressOf(loc.module, loc.displacement), a);
+        }
+    }
+}
+
+TEST(DynamicMapping, DisplacedFraction)
+{
+    // Same tuning: nothing moves.
+    EXPECT_DOUBLE_EQ(
+        DynamicFieldMapping::displacedBy(3, 2, 2, 4096), 0.0);
+    // Different tunings: almost everything moves (only addresses
+    // whose relevant fields happen to coincide stay).
+    const double moved =
+        DynamicFieldMapping::displacedBy(3, 0, 2, 1 << 14);
+    EXPECT_GT(moved, 0.85);
+    EXPECT_LE(moved, 1.0);
+}
+
+TEST(PseudoRandom, BijectiveAndDeterministic)
+{
+    const auto a = makePseudoRandomMapping(3, 24, 42);
+    const auto b = makePseudoRandomMapping(3, 24, 42);
+    EXPECT_TRUE(a.bijective());
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_EQ(a.row(i), b.row(i));
+    for (Addr addr = 0; addr < 4096; ++addr) {
+        EXPECT_EQ(a.moduleOf(addr), b.moduleOf(addr));
+        const auto loc = a.locate(addr);
+        EXPECT_EQ(a.addressOf(loc.module, loc.displacement), addr);
+    }
+}
+
+TEST(PseudoRandom, DifferentSeedsDiffer)
+{
+    const auto a = makePseudoRandomMapping(4, 24, 1);
+    const auto b = makePseudoRandomMapping(4, 24, 2);
+    unsigned differing = 0;
+    for (Addr addr = 0; addr < 1024; ++addr)
+        differing += a.moduleOf(addr) != b.moduleOf(addr) ? 1 : 0;
+    EXPECT_GT(differing, 256u);
+}
+
+TEST(PseudoRandom, SpreadsEveryFamilyDecently)
+{
+    // The design goal of [12]: no family clusters into one module.
+    const auto map = makePseudoRandomMapping(3, 24, 0xD1CE);
+    for (unsigned x = 0; x <= 8; ++x) {
+        const auto sd = spatialDistribution(
+            map, 3, Stride::fromFamily(3, x), 256);
+        std::uint64_t max_load = 0;
+        for (auto c : sd)
+            max_load = std::max(max_load, c);
+        // Perfect balance is 32; tolerate up to 4x imbalance, far
+        // better than the 256-in-one-module worst case of
+        // low-order interleaving at x >= 3.
+        EXPECT_LE(max_load, 128u) << "x=" << x;
+    }
+}
+
+} // namespace
+} // namespace cfva

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for the mapping factory helpers (the Sec. 3.3 / 4.3
+ * parameter recommendations in constructor form).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapping/factory.h"
+#include "mapping/xor_matched.h"
+#include "mapping/xor_sectioned.h"
+#include "test_util.h"
+
+namespace cfva {
+namespace {
+
+TEST(Factory, MatchedForLengthUsesRecommendedS)
+{
+    const auto map = makeMatchedForLength(3, 7);
+    ASSERT_NE(map, nullptr);
+    EXPECT_EQ(map->moduleBits(), 3u);
+    const auto *xm = dynamic_cast<const XorMatchedMapping *>(map.get());
+    ASSERT_NE(xm, nullptr);
+    EXPECT_EQ(xm->xorDistance(), 4u); // lambda - t
+}
+
+TEST(Factory, SectionedForLengthUsesRecommendedSY)
+{
+    const auto map = makeSectionedForLength(3, 7);
+    ASSERT_NE(map, nullptr);
+    EXPECT_EQ(map->moduleBits(), 6u); // m = 2t
+    const auto *xs =
+        dynamic_cast<const XorSectionedMapping *>(map.get());
+    ASSERT_NE(xs, nullptr);
+    EXPECT_EQ(xs->xorDistance(), 4u); // lambda - t
+    EXPECT_EQ(xs->sectionPos(), 9u);  // 2(lambda-t)+1
+}
+
+TEST(Factory, RejectsTooShortRegisters)
+{
+    test::ScopedPanicThrow guard;
+    // lambda < 2t makes s = lambda-t < t, violating Eq. 1.
+    EXPECT_THROW(makeMatchedForLength(3, 5), std::runtime_error);
+    EXPECT_THROW(makeSectionedForLength(4, 7), std::runtime_error);
+}
+
+TEST(Factory, ProducedMappingsAgreeWithDirectConstruction)
+{
+    const auto fac = makeMatchedForLength(2, 6);
+    const XorMatchedMapping direct(2, 4);
+    for (Addr a = 0; a < 4096; ++a)
+        EXPECT_EQ(fac->moduleOf(a), direct.moduleOf(a));
+
+    const auto fac_s = makeSectionedForLength(2, 5);
+    const XorSectionedMapping direct_s(2, 3, 7);
+    for (Addr a = 0; a < 4096; ++a)
+        EXPECT_EQ(fac_s->moduleOf(a), direct_s.moduleOf(a));
+}
+
+} // namespace
+} // namespace cfva

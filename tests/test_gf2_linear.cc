@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the generic GF(2) linear mapping, including equivalence
+ * with the dedicated Eq. 1 / Eq. 2 classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapping/gf2_linear.h"
+#include "mapping/interleave.h"
+#include "mapping/xor_matched.h"
+#include "mapping/xor_sectioned.h"
+#include "test_util.h"
+
+namespace cfva {
+namespace {
+
+TEST(GF2Linear, InterleaveMatrixEqualsDirect)
+{
+    const auto lin = GF2LinearMapping::interleave(3);
+    const LowOrderInterleave direct(3);
+    EXPECT_TRUE(lin.bijective());
+    for (Addr a = 0; a < 4096; ++a)
+        EXPECT_EQ(lin.moduleOf(a), direct.moduleOf(a));
+}
+
+TEST(GF2Linear, MatchedMatrixEqualsEq1)
+{
+    const auto lin = GF2LinearMapping::matched(3, 4);
+    const XorMatchedMapping direct(3, 4);
+    EXPECT_TRUE(lin.bijective());
+    for (Addr a = 0; a < 8192; ++a)
+        EXPECT_EQ(lin.moduleOf(a), direct.moduleOf(a)) << "a=" << a;
+}
+
+TEST(GF2Linear, SectionedMatrixEqualsEq2)
+{
+    const auto lin = GF2LinearMapping::sectioned(2, 3, 7, 2);
+    const XorSectionedMapping direct(2, 3, 7);
+    for (Addr a = 0; a < 8192; ++a)
+        EXPECT_EQ(lin.moduleOf(a), direct.moduleOf(a)) << "a=" << a;
+}
+
+TEST(GF2Linear, SectionedMatrixNotBijectiveWithShiftDisplacement)
+{
+    // Eq. 2 reads bits above m for the section rows, so (b, A >> m)
+    // cannot be inverted; XorSectionedMapping's A >> t displacement
+    // is the fix.  The generic class must report this honestly.
+    const auto lin = GF2LinearMapping::sectioned(2, 3, 7, 2);
+    EXPECT_FALSE(lin.bijective());
+    test::ScopedPanicThrow guard;
+    EXPECT_THROW(lin.addressOf(0, 0), std::runtime_error);
+}
+
+TEST(GF2Linear, RoundTripWhenBijective)
+{
+    const auto lin = GF2LinearMapping::matched(3, 5);
+    for (Addr a = 0; a < 8192; ++a) {
+        const auto loc = lin.locate(a);
+        EXPECT_EQ(lin.addressOf(loc.module, loc.displacement), a);
+    }
+}
+
+TEST(GF2Linear, ArbitraryInvertibleMatrix)
+{
+    // A denser matrix (each row XORs three address bits).
+    const std::vector<std::uint64_t> rows = {
+        (1ull << 0) | (1ull << 3) | (1ull << 6),
+        (1ull << 1) | (1ull << 4) | (1ull << 7),
+        (1ull << 2) | (1ull << 5) | (1ull << 8),
+    };
+    const GF2LinearMapping lin(rows);
+    EXPECT_TRUE(lin.bijective());
+    EXPECT_EQ(lin.moduleBits(), 3u);
+    for (Addr a = 0; a < 4096; ++a) {
+        const auto loc = lin.locate(a);
+        EXPECT_EQ(lin.addressOf(loc.module, loc.displacement), a);
+    }
+}
+
+TEST(GF2Linear, SingularLowSubmatrixDetected)
+{
+    // Row 1 duplicates row 0 over the low bits: singular.
+    const std::vector<std::uint64_t> rows = {
+        (1ull << 0) | (1ull << 4),
+        (1ull << 0) | (1ull << 5),
+        (1ull << 2),
+    };
+    const GF2LinearMapping lin(rows);
+    EXPECT_FALSE(lin.bijective());
+}
+
+TEST(GF2Linear, RowAccessorAndName)
+{
+    const auto lin = GF2LinearMapping::matched(2, 3);
+    EXPECT_EQ(lin.row(0), (1ull << 0) | (1ull << 3));
+    EXPECT_EQ(lin.row(1), (1ull << 1) | (1ull << 4));
+    EXPECT_NE(lin.name().find("gf2-linear"), std::string::npos);
+    test::ScopedPanicThrow guard;
+    EXPECT_THROW(lin.row(2), std::runtime_error);
+}
+
+} // namespace
+} // namespace cfva

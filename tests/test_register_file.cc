@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the vector register file organizations (Sec. 5D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/register_file.h"
+#include "test_util.h"
+
+namespace cfva {
+namespace {
+
+TEST(RegisterFile, RandomAccessAcceptsAnyOrder)
+{
+    VectorRegisterFile rf(2, 8, RegisterFileOrg::RandomAccess);
+    rf.beginWrite(0);
+    const std::uint64_t order[8] = {2, 5, 0, 3, 6, 1, 4, 7};
+    for (std::uint64_t i = 0; i < 8; ++i)
+        rf.write(0, order[i], order[i] * 10);
+    EXPECT_TRUE(rf.complete(0));
+    for (std::uint64_t e = 0; e < 8; ++e)
+        EXPECT_EQ(rf.read(0, e), e * 10);
+}
+
+TEST(RegisterFile, FifoAcceptsInOrder)
+{
+    VectorRegisterFile rf(1, 4, RegisterFileOrg::Fifo);
+    rf.beginWrite(0);
+    for (std::uint64_t e = 0; e < 4; ++e)
+        rf.write(0, e, e + 100);
+    EXPECT_TRUE(rf.complete(0));
+    EXPECT_EQ(rf.read(0, 3), 103u);
+}
+
+TEST(RegisterFile, FifoRejectsOutOfOrder)
+{
+    // The paper's Sec. 5D point: out-of-order return requires a
+    // random-access register file.
+    test::ScopedPanicThrow guard;
+    VectorRegisterFile rf(1, 8, RegisterFileOrg::Fifo);
+    rf.beginWrite(0);
+    rf.write(0, 0, 1);
+    EXPECT_THROW(rf.write(0, 2, 3), std::runtime_error);
+}
+
+TEST(RegisterFile, BeginWriteResetsFifoAndCompletion)
+{
+    VectorRegisterFile rf(1, 2, RegisterFileOrg::Fifo);
+    rf.beginWrite(0);
+    rf.write(0, 0, 5);
+    rf.write(0, 1, 6);
+    EXPECT_TRUE(rf.complete(0));
+    rf.beginWrite(0);
+    EXPECT_FALSE(rf.complete(0));
+    rf.write(0, 0, 7); // FIFO pointer reset
+    EXPECT_EQ(rf.read(0, 0), 7u);
+    EXPECT_EQ(rf.read(0, 1), 6u); // old data persists until rewrite
+}
+
+TEST(RegisterFile, IndependentRegisters)
+{
+    VectorRegisterFile rf(3, 4, RegisterFileOrg::RandomAccess);
+    rf.beginWrite(1);
+    rf.write(1, 0, 42);
+    EXPECT_FALSE(rf.complete(1));
+    EXPECT_EQ(rf.read(1, 0), 42u);
+    EXPECT_EQ(rf.read(0, 0), 0u);
+    EXPECT_EQ(rf.read(2, 0), 0u);
+}
+
+TEST(RegisterFile, BoundsChecked)
+{
+    test::ScopedPanicThrow guard;
+    VectorRegisterFile rf(2, 4, RegisterFileOrg::RandomAccess);
+    EXPECT_THROW(rf.read(2, 0), std::runtime_error);
+    EXPECT_THROW(rf.read(0, 4), std::runtime_error);
+    rf.beginWrite(0);
+    EXPECT_THROW(rf.write(0, 4, 0), std::runtime_error);
+    EXPECT_THROW(rf.write(2, 0, 0), std::runtime_error);
+}
+
+} // namespace
+} // namespace cfva

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for stride-family decomposition (paper Sec. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <sstream>
+#include <vector>
+
+#include "common/stride.h"
+#include "test_util.h"
+
+namespace cfva {
+namespace {
+
+TEST(Stride, DecomposeOdd)
+{
+    const Stride s(7);
+    EXPECT_EQ(s.value(), 7u);
+    EXPECT_EQ(s.sigma(), 7u);
+    EXPECT_EQ(s.family(), 0u);
+    EXPECT_TRUE(s.odd());
+}
+
+TEST(Stride, DecomposePaperStride12)
+{
+    // The Sec. 3 worked example: stride 12 = 3 * 2^2, family x = 2.
+    const Stride s(12);
+    EXPECT_EQ(s.sigma(), 3u);
+    EXPECT_EQ(s.family(), 2u);
+    EXPECT_FALSE(s.odd());
+}
+
+TEST(Stride, DecomposePowersOfTwo)
+{
+    for (unsigned x = 0; x < 20; ++x) {
+        const Stride s(std::uint64_t{1} << x);
+        EXPECT_EQ(s.sigma(), 1u);
+        EXPECT_EQ(s.family(), x);
+    }
+}
+
+TEST(Stride, FromFamilyRoundTrip)
+{
+    for (std::uint64_t sigma : {1ull, 3ull, 5ull, 17ull, 255ull}) {
+        for (unsigned x : {0u, 1u, 4u, 9u}) {
+            const Stride s = Stride::fromFamily(sigma, x);
+            EXPECT_EQ(s.value(), sigma << x);
+            const Stride back(s.value());
+            EXPECT_EQ(back, s);
+        }
+    }
+}
+
+TEST(Stride, RejectsZero)
+{
+    test::ScopedPanicThrow guard;
+    EXPECT_THROW(Stride{0}, std::runtime_error);
+}
+
+TEST(Stride, RejectsEvenSigma)
+{
+    test::ScopedPanicThrow guard;
+    EXPECT_THROW(Stride::fromFamily(4, 1), std::runtime_error);
+}
+
+TEST(Stride, FamilyFraction)
+{
+    // Half of all strides are odd, a quarter are 2*odd, ... (5A).
+    EXPECT_DOUBLE_EQ(strideFamilyFraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(strideFamilyFraction(1), 0.25);
+    EXPECT_DOUBLE_EQ(strideFamilyFraction(4), 1.0 / 32.0);
+
+    double total = 0.0;
+    for (unsigned x = 0; x < 50; ++x)
+        total += strideFamilyFraction(x);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Stride, EnumerateFamily)
+{
+    std::vector<Stride> strides;
+    enumerateFamily(2, 4, std::back_inserter(strides));
+    ASSERT_EQ(strides.size(), 4u);
+    EXPECT_EQ(strides[0].value(), 4u);   // 1 * 2^2
+    EXPECT_EQ(strides[1].value(), 12u);  // 3 * 2^2
+    EXPECT_EQ(strides[2].value(), 20u);  // 5 * 2^2
+    EXPECT_EQ(strides[3].value(), 28u);  // 7 * 2^2
+    for (const auto &s : strides)
+        EXPECT_EQ(s.family(), 2u);
+}
+
+TEST(Stride, StreamFormat)
+{
+    std::ostringstream os;
+    os << Stride(12);
+    EXPECT_EQ(os.str(), "12 (= 3 * 2^2)");
+}
+
+/** Property: decomposition is unique over a dense range. */
+TEST(StrideProperty, DecompositionRoundTripsDense)
+{
+    for (std::uint64_t v = 1; v <= 10000; ++v) {
+        const Stride s(v);
+        EXPECT_EQ(s.sigma() << s.family(), v);
+        EXPECT_EQ(s.sigma() % 2, 1u);
+    }
+}
+
+} // namespace
+} // namespace cfva

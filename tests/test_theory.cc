@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the analytic formulas against the paper's stated
+ * numbers (Secs. 3.3, 4.3, 5A, 5B, 5E, 5G, 5H).
+ */
+
+#include <gtest/gtest.h>
+
+#include "theory/theory.h"
+
+namespace cfva {
+namespace {
+
+using namespace theory;
+
+TEST(Theory, Periods)
+{
+    EXPECT_EQ(periodMatched(3, 3, 2), 16u);  // the Sec. 3 example
+    EXPECT_EQ(periodMatched(4, 3, 0), 128u);
+    EXPECT_EQ(periodMatched(4, 3, 7), 1u);
+    EXPECT_EQ(periodMatched(4, 3, 12), 1u);
+    EXPECT_EQ(periodSectioned(7, 2, 4), 32u); // Figure 7 vector
+    EXPECT_EQ(periodSectioned(9, 3, 9), 8u);
+}
+
+TEST(Theory, TheoremNandR)
+{
+    EXPECT_EQ(theoremN(4, 3, 7), 4u);  // min(lambda-t, s) = min(4,4)
+    EXPECT_EQ(theoremN(5, 3, 7), 4u);  // min(4, 5)
+    EXPECT_EQ(theoremN(3, 3, 7), 3u);  // min(4, 3)
+    EXPECT_EQ(theoremR(9, 3, 7), 4u);  // min(4, 9)
+}
+
+TEST(Theory, MatchedWindowPaperExample)
+{
+    // Sec. 3.3: L = 128, m = t = 3, s = 4 -> families 0..4.
+    const auto w = matchedWindow(4, 3, 7);
+    EXPECT_EQ(w.lo, 0);
+    EXPECT_EQ(w.hi, 4);
+    EXPECT_EQ(w.families(), 5u);
+    EXPECT_TRUE(w.contains(0));
+    EXPECT_TRUE(w.contains(4));
+    EXPECT_FALSE(w.contains(5));
+}
+
+TEST(Theory, OrderedWindows)
+{
+    EXPECT_EQ(orderedMatchedWindow(4).families(), 1u);
+    // Sec. 4 opening: m - t + 1 families in order.
+    const auto w = orderedUnmatchedWindow(4, 6, 3);
+    EXPECT_EQ(w.lo, 4);
+    EXPECT_EQ(w.hi, 7);
+    EXPECT_EQ(w.families(), 4u);
+}
+
+TEST(Theory, SimpleUnmatchedWindow)
+{
+    // Sec. 4: s = lambda-t gives 0 <= x <= lambda+m-2t.
+    const unsigned t = 3, m = 6, lambda = 7, s = lambda - t;
+    const auto w = simpleUnmatchedWindow(s, m, t, lambda);
+    EXPECT_EQ(w.lo, 0);
+    EXPECT_EQ(w.hi, static_cast<int>(lambda + m - 2 * t));
+}
+
+TEST(Theory, SectionedWindowsPaperExample)
+{
+    // Sec. 4.3: L = 128, T = 8, M = 64, s = 4, y = 9 -> x in 0..9.
+    const auto w = sectionedWindows(4, 9, 3, 7);
+    EXPECT_EQ(w.low.lo, 0);
+    EXPECT_EQ(w.low.hi, 4);
+    EXPECT_EQ(w.high.lo, 5);
+    EXPECT_EQ(w.high.hi, 9);
+    EXPECT_TRUE(w.fused());
+    const auto fused = w.fusedWindow();
+    EXPECT_EQ(fused.lo, 0);
+    EXPECT_EQ(fused.hi, 9);
+    EXPECT_EQ(fused.families(), 10u);
+}
+
+TEST(Theory, NonFusedWindowsDetected)
+{
+    // y far above s+1+R leaves a gap.
+    const auto w = sectionedWindows(4, 12, 3, 7);
+    EXPECT_FALSE(w.fused());
+    EXPECT_GT(w.high.lo, w.low.hi + 1);
+}
+
+TEST(Theory, RecommendedParameters)
+{
+    EXPECT_EQ(recommendedS(3, 7), 4u);
+    EXPECT_EQ(recommendedY(3, 7), 9u);
+    EXPECT_EQ(recommendedS(2, 5), 3u);
+    EXPECT_EQ(recommendedY(2, 5), 7u); // the Figure 7 parameters
+}
+
+TEST(Theory, FractionPaperNumbers)
+{
+    // Sec. 5A: 31/32 matched, 1023/1024 unmatched.
+    EXPECT_DOUBLE_EQ(conflictFreeFraction(4), 31.0 / 32.0);
+    EXPECT_DOUBLE_EQ(conflictFreeFraction(9), 1023.0 / 1024.0);
+    EXPECT_DOUBLE_EQ(conflictFreeFraction(0), 0.5);
+}
+
+TEST(Theory, WindowFraction)
+{
+    // A window starting at 0 reproduces conflictFreeFraction.
+    EXPECT_DOUBLE_EQ(windowFraction({0, 4}), conflictFreeFraction(4));
+    // The single family x = s window holds 2^{-(s+1)} of strides.
+    EXPECT_DOUBLE_EQ(windowFraction({4, 4}), 1.0 / 32.0);
+    EXPECT_DOUBLE_EQ(windowFraction({1, 2}), 0.25 + 0.125);
+    EXPECT_DOUBLE_EQ(windowFraction({3, 2}), 0.0); // empty
+}
+
+TEST(Theory, EfficiencyPaperNumbers)
+{
+    // Sec. 5B: eta = 0.914 (matched, w=4, t=3), 0.997 (unmatched,
+    // w=9), 0.4 (ordered matched, w=0), 0.84 (ordered unmatched,
+    // w=3).
+    EXPECT_NEAR(efficiency(4, 3), 0.914, 5e-4);
+    EXPECT_NEAR(efficiency(9, 3), 0.997, 5e-4);
+    EXPECT_NEAR(efficiency(0, 3), 0.4, 1e-9);
+    EXPECT_NEAR(efficiency(3, 3), 0.842, 5e-4);
+}
+
+TEST(Theory, EfficiencyMonotoneInWindow)
+{
+    for (unsigned w = 0; w < 12; ++w)
+        EXPECT_LT(efficiency(w, 3), efficiency(w + 1, 3));
+    EXPECT_GT(efficiency(20, 3), 0.999);
+}
+
+TEST(Theory, Latencies)
+{
+    EXPECT_EQ(minimumLatency(128, 8), 137u);
+    EXPECT_EQ(subsequenceLatencyBound(128, 8), 144u);
+    // Excess of at most T-1.
+    EXPECT_EQ(subsequenceLatencyBound(128, 8)
+                  - minimumLatency(128, 8),
+              7u);
+}
+
+TEST(Theory, FamilyCountsVsLength)
+{
+    // Sec. 5H with m = 2t = 6: ordered access t+1 = 4 for any
+    // length; proposed 2 for any length but 2(lambda-t+1) for
+    // L = 2^lambda.
+    EXPECT_EQ(orderedFamiliesAnyLength(6, 3), 4u);
+    EXPECT_EQ(proposedFamiliesAnyLength(), 2u);
+    EXPECT_EQ(proposedFamiliesForLength(3, 7), 10u);
+    EXPECT_EQ(proposedFamiliesForLength(3, 10), 16u);
+}
+
+TEST(Theory, MaxFamiliesSection5G)
+{
+    // t-1 more families are achievable in principle.
+    EXPECT_EQ(maxFamiliesOutOfOrder(3, 7), 12u);
+    EXPECT_EQ(maxFamiliesOutOfOrder(2, 5), 9u);
+}
+
+TEST(Theory, ModulesAblation)
+{
+    // Sec. 5E: doubling the window squares the module count.
+    const unsigned t = 3, lambda = 7;
+    // lambda-t+1 = 5 families: matched suffices.
+    EXPECT_EQ(log2ModulesForFamilies(5, t, lambda), 3u);
+    EXPECT_EQ(log2ModulesForFamilies(1, t, lambda), 3u);
+    // 6..10 families: need M = T^2.
+    EXPECT_EQ(log2ModulesForFamilies(6, t, lambda), 6u);
+    EXPECT_EQ(log2ModulesForFamilies(10, t, lambda), 6u);
+    // Beyond 2(lambda-t+1): not provided by the paper's schemes.
+    EXPECT_FALSE(log2ModulesForFamilies(11, t, lambda).has_value());
+}
+
+} // namespace
+} // namespace cfva

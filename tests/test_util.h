@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared helpers for the CFVA test suite.
+ */
+
+#ifndef CFVA_TESTS_TEST_UTIL_H
+#define CFVA_TESTS_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace cfva::test {
+
+/**
+ * RAII guard turning panic()/fatal() into std::runtime_error for
+ * the duration of a test, so death paths are assertable with
+ * EXPECT_THROW instead of death tests.
+ */
+class ScopedPanicThrow
+{
+  public:
+    ScopedPanicThrow() { setThrowOnPanic(true); }
+    ~ScopedPanicThrow() { setThrowOnPanic(false); }
+
+    ScopedPanicThrow(const ScopedPanicThrow &) = delete;
+    ScopedPanicThrow &operator=(const ScopedPanicThrow &) = delete;
+};
+
+} // namespace cfva::test
+
+#endif // CFVA_TESTS_TEST_UTIL_H

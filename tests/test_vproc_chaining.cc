@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for LOAD/EXECUTE chaining in the vector processor
+ * (Sec. 5F applied to the vproc substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vproc/processor.h"
+
+namespace cfva {
+namespace {
+
+Program
+loadThenSquare(std::uint64_t stride)
+{
+    return {vload(0, 0, stride), vmul(1, 0, 0),
+            vstore(1, 1 << 20, 1)};
+}
+
+void
+seed(VectorProcessor &proc, std::uint64_t stride, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i)
+        proc.memory().store(stride * i, i + 1);
+}
+
+TEST(VProcChaining, ChainsOnConflictFreeLoad)
+{
+    VectorProcessor decoupled(paperMatchedExample());
+    VectorProcessor chained(paperMatchedExample());
+    chained.enableChaining(true);
+    seed(decoupled, 12, 128);
+    seed(chained, 12, 128);
+
+    decoupled.run(loadThenSquare(12));
+    chained.run(loadThenSquare(12));
+
+    EXPECT_EQ(decoupled.stats().chainedOps, 0u);
+    EXPECT_EQ(chained.stats().chainedOps, 1u);
+    // Chaining saves vl - 1 = 127 execute cycles.
+    EXPECT_EQ(decoupled.stats().cycles - chained.stats().cycles,
+              127u);
+
+    // Results identical either way.
+    for (std::uint64_t i = 0; i < 128; ++i) {
+        EXPECT_EQ(chained.memory().load((1 << 20) + i),
+                  (i + 1) * (i + 1));
+        EXPECT_EQ(decoupled.memory().load((1 << 20) + i),
+                  (i + 1) * (i + 1));
+    }
+}
+
+TEST(VProcChaining, DoesNotChainOnConflictedLoad)
+{
+    // Stride 32 (x = 5) is outside the window: the load is not
+    // conflict free and must not chain (the paper's restriction).
+    VectorProcessor proc(paperMatchedExample());
+    proc.enableChaining(true);
+    seed(proc, 32, 128);
+    proc.run(loadThenSquare(32));
+    EXPECT_EQ(proc.stats().chainedOps, 0u);
+}
+
+TEST(VProcChaining, OnlyImmediateConsumerChains)
+{
+    VectorProcessor proc(paperMatchedExample());
+    proc.enableChaining(true);
+    seed(proc, 1, 128);
+    // The vadds reads v0 but an unrelated vmuls sits in between:
+    // the chain window is single-instruction.
+    proc.run({vload(0, 0, 1), vmuls(2, 3, 5), vadds(1, 0, 7)});
+    EXPECT_EQ(proc.stats().chainedOps, 0u);
+}
+
+TEST(VProcChaining, UnrelatedConsumerDoesNotChain)
+{
+    VectorProcessor proc(paperMatchedExample());
+    proc.enableChaining(true);
+    seed(proc, 1, 128);
+    // Arithmetic that does not read the loaded register.
+    proc.run({vload(0, 0, 1), vmuls(2, 3, 5)});
+    EXPECT_EQ(proc.stats().chainedOps, 0u);
+}
+
+TEST(VProcChaining, SecondSourceChainsToo)
+{
+    VectorProcessor proc(paperMatchedExample());
+    proc.enableChaining(true);
+    seed(proc, 1, 128);
+    proc.run({vload(1, 0, 1), vadd(2, 3, 1)}); // vs2 is the chain
+    EXPECT_EQ(proc.stats().chainedOps, 1u);
+}
+
+TEST(VProcChaining, AxpyBenefit)
+{
+    // Full strip-mined AXPY with chaining on vs off: every strip
+    // chains the multiply on the x-load and the add on the y-load.
+    const std::uint64_t n = 256;
+    auto run = [&](bool chain) {
+        VectorProcessor proc(paperMatchedExample());
+        proc.enableChaining(chain);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            proc.memory().store(12 * i, i);
+            proc.memory().store((1 << 20) + i, i);
+        }
+        Program prog;
+        for (std::uint64_t first = 0; first < n; first += 128) {
+            prog.push_back(vload(0, 12 * first, 12));
+            prog.push_back(vmuls(2, 0, 3));
+            prog.push_back(vload(1, (1 << 20) + first, 1));
+            prog.push_back(vadd(3, 2, 1));
+            prog.push_back(vstore(3, (1 << 21) + first, 1));
+        }
+        proc.run(prog);
+        return proc.stats();
+    };
+
+    const auto plain = run(false);
+    const auto chained = run(true);
+    EXPECT_EQ(chained.chainedOps, 4u); // 2 strips * 2 chained ops
+    EXPECT_EQ(plain.cycles - chained.cycles, 4u * 127u);
+}
+
+} // namespace
+} // namespace cfva

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the Eq. 1 XOR matched mapping, including the paper's
+ * Figure 3 layout and the Lemma 2 / Lemma 3 / Theorem 1 sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "mapping/analysis.h"
+#include "mapping/xor_matched.h"
+#include "test_util.h"
+#include "theory/theory.h"
+
+namespace cfva {
+namespace {
+
+TEST(XorMatched, Figure3Layout)
+{
+    // Figure 3: m = t = 3, s = 3.  Row r holds addresses 8r..8r+7;
+    // the figure lists, for each row, the address stored in modules
+    // 0..7 left to right.
+    const XorMatchedMapping map(3, 3);
+    const Addr figure[9][8] = {
+        {0, 1, 2, 3, 4, 5, 6, 7},
+        {9, 8, 11, 10, 13, 12, 15, 14},
+        {18, 19, 16, 17, 22, 23, 20, 21},
+        {27, 26, 25, 24, 31, 30, 29, 28},
+        {36, 37, 38, 39, 32, 33, 34, 35},
+        {45, 44, 47, 46, 41, 40, 43, 42},
+        {54, 55, 52, 53, 50, 51, 48, 49},
+        {63, 62, 61, 60, 59, 58, 57, 56},
+        {64, 65, 66, 67, 68, 69, 70, 71},
+    };
+    for (unsigned row = 0; row < 9; ++row) {
+        for (ModuleId mod = 0; mod < 8; ++mod) {
+            EXPECT_EQ(map.moduleOf(figure[row][mod]), mod)
+                << "row " << row << " module " << mod;
+        }
+    }
+}
+
+TEST(XorMatched, RejectsBadParameters)
+{
+    test::ScopedPanicThrow guard;
+    // Eq. 1 requires s >= t.
+    EXPECT_THROW(XorMatchedMapping(3, 2), std::runtime_error);
+    EXPECT_THROW(XorMatchedMapping(0, 4), std::runtime_error);
+}
+
+TEST(XorMatched, PeriodFormula)
+{
+    const XorMatchedMapping map(3, 4);
+    // P_x = 2^{s+t-x}, clamped at 1 (Sec. 3).
+    EXPECT_EQ(map.period(0), 128u);
+    EXPECT_EQ(map.period(2), 32u);
+    EXPECT_EQ(map.period(4), 8u);
+    EXPECT_EQ(map.period(7), 1u);
+    EXPECT_EQ(map.period(10), 1u);
+}
+
+TEST(XorMatched, RoundTripBijection)
+{
+    const XorMatchedMapping map(3, 4);
+    std::set<std::pair<ModuleId, Addr>> seen;
+    for (Addr a = 0; a < 4096; ++a) {
+        const auto loc = map.locate(a);
+        EXPECT_TRUE(seen.insert({loc.module, loc.displacement}).second)
+            << "collision at address " << a;
+        EXPECT_EQ(map.addressOf(loc.module, loc.displacement), a);
+    }
+}
+
+TEST(XorMatched, InOrderConflictFreeOnlyForFamilyS)
+{
+    // [6]: in-order access is conflict free exactly for x = s, any
+    // start, any length.
+    const unsigned t = 3, s = 4;
+    const XorMatchedMapping map(t, s);
+    const std::uint64_t t_cycles = 1u << t;
+    for (unsigned x = 0; x <= 6; ++x) {
+        bool all_cf = true;
+        for (std::uint64_t sigma : {1ull, 3ull, 5ull}) {
+            for (Addr a1 : {0ull, 1ull, 16ull, 100ull}) {
+                const auto td = canonicalTemporal(
+                    map, a1, Stride::fromFamily(sigma, x), 256);
+                all_cf &= isConflictFree(td, t_cycles);
+            }
+        }
+        EXPECT_EQ(all_cf, x == s) << "x=" << x;
+    }
+}
+
+/**
+ * Lemma 2 sweep: for x <= s, the i-th subsequence (elements
+ * i + k1*2^{s-x}, 0 <= k1 < 2^t) lands in 2^t distinct modules.
+ * Parameter: (t, s, x, sigma, a1).
+ */
+class Lemma2Test : public ::testing::TestWithParam<
+    std::tuple<unsigned, unsigned, unsigned, std::uint64_t, Addr>>
+{
+};
+
+TEST_P(Lemma2Test, SubsequencesHitDistinctModules)
+{
+    const auto [t, s, x, sigma, a1] = GetParam();
+    ASSERT_LE(x, s);
+    const XorMatchedMapping map(t, s);
+    const Stride stride = Stride::fromFamily(sigma, x);
+    const std::uint64_t t_elems = std::uint64_t{1} << t;
+    const std::uint64_t subseq = std::uint64_t{1} << (s - x);
+
+    for (std::uint64_t i = 0; i < subseq; ++i) {
+        std::set<ModuleId> modules;
+        for (std::uint64_t k1 = 0; k1 < t_elems; ++k1) {
+            const Addr a =
+                elementAddress(a1, stride, i + k1 * subseq);
+            modules.insert(map.moduleOf(a));
+        }
+        EXPECT_EQ(modules.size(), t_elems)
+            << "subsequence " << i << " not spread over all modules";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma2Test,
+    ::testing::Combine(
+        ::testing::Values(2u, 3u),                 // t
+        ::testing::Values(3u, 4u, 5u),             // s
+        ::testing::Values(0u, 1u, 2u, 3u),         // x <= s
+        ::testing::Values(1ull, 3ull, 7ull),       // sigma
+        ::testing::Values<Addr>(0, 1, 6, 16, 123)));
+
+/**
+ * Lemma 3 / Theorem 1 sweep: CTP_x is T-matched iff x <= s, and
+ * vectors of length 2^lambda are T-matched for s-N <= x <= s.
+ */
+class Theorem1Test : public ::testing::TestWithParam<
+    std::tuple<unsigned, unsigned, unsigned>> // t, s, lambda
+{
+};
+
+TEST_P(Theorem1Test, WindowMatchesTheory)
+{
+    const auto [t, s, lambda] = GetParam();
+    const XorMatchedMapping map(t, s);
+    const std::uint64_t t_cycles = 1u << t;
+    const std::uint64_t len = std::uint64_t{1} << lambda;
+    const auto window = theory::matchedWindow(s, t, lambda);
+
+    for (unsigned x = 0; x <= s + 2; ++x) {
+        // Check several strides and starts per family.
+        bool all_matched = true;
+        for (std::uint64_t sigma : {1ull, 3ull, 5ull}) {
+            for (Addr a1 : {0ull, 1ull, 16ull, 99ull}) {
+                all_matched &= isTMatched(
+                    map, a1, Stride::fromFamily(sigma, x), len,
+                    t_cycles);
+            }
+        }
+        if (window.contains(x)) {
+            EXPECT_TRUE(all_matched)
+                << "x=" << x << " inside window should be T-matched";
+        } else if (x > s) {
+            EXPECT_FALSE(all_matched)
+                << "x=" << x << " > s cannot be T-matched";
+        }
+        // x < s-N: T-matched only for some starts; no assertion
+        // (the paper: "depends on its initial address").
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem1Test,
+    ::testing::Combine(::testing::Values(2u, 3u),      // t
+                       ::testing::Values(3u, 4u, 5u),  // s
+                       ::testing::Values(5u, 6u, 7u, 8u))); // lambda
+
+/** Measured period equals the formula for all families. */
+class PeriodTest : public ::testing::TestWithParam<
+    std::tuple<unsigned, unsigned, unsigned, std::uint64_t>>
+{
+};
+
+TEST_P(PeriodTest, MeasuredEqualsFormula)
+{
+    const auto [t, s, x, sigma] = GetParam();
+    const XorMatchedMapping map(t, s);
+    const Stride stride = Stride::fromFamily(sigma, x);
+    const std::uint64_t expect = map.period(x);
+    const std::uint64_t measured =
+        measuredPeriod(map, 37, stride, expect, 4 * expect);
+    EXPECT_EQ(measured, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PeriodTest,
+    ::testing::Combine(::testing::Values(2u, 3u),          // t
+                       ::testing::Values(3u, 4u),          // s
+                       ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u,
+                                         6u, 7u),          // x
+                       ::testing::Values(1ull, 3ull, 9ull)));
+
+} // namespace
+} // namespace cfva

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the Eq. 2 sectioned mapping, including the paper's
+ * Figure 7 worked examples and the Lemma 4 / Lemma 5 / Theorem 3
+ * sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "mapping/analysis.h"
+#include "mapping/xor_sectioned.h"
+#include "test_util.h"
+#include "theory/theory.h"
+
+namespace cfva {
+namespace {
+
+/** The Figure 7 instance: t=2, m=4, s=3, y=7. */
+XorSectionedMapping
+figure7()
+{
+    return XorSectionedMapping(2, 3, 7);
+}
+
+TEST(XorSectioned, Figure7LowAddresses)
+{
+    // Section 0 (addresses < 128) behaves like Eq. 1 with t=2, s=3.
+    const auto map = figure7();
+    EXPECT_EQ(map.modules(), 16u);
+
+    // First rows of the figure: addresses 0..3 and 4..7 sit in
+    // modules 0..3; row 8..11 is permuted (9 8 11 10).
+    for (Addr a = 0; a < 8; ++a)
+        EXPECT_EQ(map.moduleOf(a), a % 4);
+    EXPECT_EQ(map.moduleOf(9), 0u);
+    EXPECT_EQ(map.moduleOf(8), 1u);
+    EXPECT_EQ(map.moduleOf(11), 2u);
+    EXPECT_EQ(map.moduleOf(10), 3u);
+}
+
+TEST(XorSectioned, Figure7SectionsAndSupermodules)
+{
+    const auto map = figure7();
+    EXPECT_EQ(map.sections(), 4u);
+    EXPECT_EQ(map.modulesPerSection(), 4u);
+
+    // Blocks of 2^y = 128 addresses map to one section each.
+    for (Addr a = 0; a < 128; ++a)
+        EXPECT_EQ(map.sectionOf(a), 0u);
+    for (Addr a = 128; a < 256; ++a)
+        EXPECT_EQ(map.sectionOf(a), 1u);
+    EXPECT_EQ(map.sectionOf(512), 0u); // wraps after 4 blocks
+
+    // Supermodule = low t bits of the module number.
+    for (Addr a = 0; a < 2048; ++a) {
+        EXPECT_EQ(map.supermoduleOf(a), map.moduleOf(a) % 4);
+        EXPECT_EQ(map.sectionOf(a), map.moduleOf(a) / 4);
+    }
+}
+
+TEST(XorSectioned, Figure7ItalicVector)
+{
+    // The italic vector of Figure 7: lambda=5, A1=6, S=16 (x=4,
+    // sigma=1).  Sec. 4.1: subsequences (0,8,16,24), (1,9,17,25),
+    // ... land in modules (2,6,10,14), (0,4,8,12), alternating.
+    const auto map = figure7();
+    const Stride s(16);
+    ASSERT_EQ(s.family(), 4u);
+
+    const ModuleId expect_even[4] = {2, 6, 10, 14};
+    const ModuleId expect_odd[4] = {0, 4, 8, 12};
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        for (std::uint64_t k1 = 0; k1 < 4; ++k1) {
+            const Addr a = elementAddress(6, s, i + k1 * 8);
+            const ModuleId expect =
+                (i % 2 == 0) ? expect_even[k1] : expect_odd[k1];
+            EXPECT_EQ(map.moduleOf(a), expect)
+                << "subsequence " << i << " element " << k1;
+        }
+    }
+}
+
+TEST(XorSectioned, Section41SecondExample)
+{
+    // Sec. 4.1: x=6, sigma=3, A1=0 => P_x=8; subsequences (0,2,4,6)
+    // and (1,3,5,7) in modules (0,12,8,4) and (4,0,12,8).
+    const auto map = figure7();
+    const Stride s = Stride::fromFamily(3, 6); // S = 192
+
+    const ModuleId expect0[4] = {0, 12, 8, 4};
+    const ModuleId expect1[4] = {4, 0, 12, 8};
+    for (std::uint64_t k1 = 0; k1 < 4; ++k1) {
+        EXPECT_EQ(map.moduleOf(elementAddress(0, s, 0 + k1 * 2)),
+                  expect0[k1]);
+        EXPECT_EQ(map.moduleOf(elementAddress(0, s, 1 + k1 * 2)),
+                  expect1[k1]);
+    }
+}
+
+TEST(XorSectioned, RejectsBadParameters)
+{
+    test::ScopedPanicThrow guard;
+    EXPECT_THROW(XorSectionedMapping(2, 1, 7), std::runtime_error);
+    EXPECT_THROW(XorSectionedMapping(2, 3, 4), std::runtime_error);
+}
+
+TEST(XorSectioned, PeriodFormula)
+{
+    const auto map = figure7();
+    // P_x = 2^{y+t-x} (Sec. 4.1).
+    EXPECT_EQ(map.period(0), 512u);
+    EXPECT_EQ(map.period(4), 32u);
+    EXPECT_EQ(map.period(6), 8u);
+    EXPECT_EQ(map.period(9), 1u);
+    EXPECT_EQ(map.period(12), 1u);
+}
+
+TEST(XorSectioned, RoundTripBijection)
+{
+    const auto map = figure7();
+    std::set<std::pair<ModuleId, Addr>> seen;
+    for (Addr a = 0; a < 8192; ++a) {
+        const auto loc = map.locate(a);
+        EXPECT_TRUE(seen.insert({loc.module, loc.displacement}).second)
+            << "collision at address " << a;
+        EXPECT_EQ(map.addressOf(loc.module, loc.displacement), a);
+    }
+}
+
+TEST(XorSectioned, GeneralSectionBits)
+{
+    // The u != t generalization: m = t + u.
+    const XorSectionedMapping map(2, 3, 7, /*u=*/3);
+    EXPECT_EQ(map.moduleBits(), 5u);
+    EXPECT_EQ(map.sections(), 8u);
+    std::set<std::pair<ModuleId, Addr>> seen;
+    for (Addr a = 0; a < 4096; ++a) {
+        const auto loc = map.locate(a);
+        EXPECT_TRUE(seen.insert({loc.module, loc.displacement}).second);
+        EXPECT_EQ(map.addressOf(loc.module, loc.displacement), a);
+    }
+}
+
+/** Lemma 4 sweep: subsequences visit 2^t distinct sections. */
+class Lemma4Test : public ::testing::TestWithParam<
+    std::tuple<unsigned, std::uint64_t, Addr>> // x, sigma, a1
+{
+};
+
+TEST_P(Lemma4Test, SubsequencesHitDistinctSections)
+{
+    const auto [x, sigma, a1] = GetParam();
+    const auto map = figure7();
+    const unsigned t = map.t(), y = map.sectionPos();
+    ASSERT_LE(x, y);
+    const Stride stride = Stride::fromFamily(sigma, x);
+    const std::uint64_t t_elems = std::uint64_t{1} << t;
+    const std::uint64_t subseq = std::uint64_t{1} << (y - x);
+
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(subseq, 32);
+         ++i) {
+        std::set<ModuleId> sections;
+        for (std::uint64_t k1 = 0; k1 < t_elems; ++k1) {
+            const Addr a =
+                elementAddress(a1, stride, i + k1 * subseq);
+            sections.insert(map.sectionOf(a));
+        }
+        EXPECT_EQ(sections.size(), t_elems) << "subsequence " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma4Test,
+    ::testing::Combine(::testing::Values(0u, 2u, 4u, 6u, 7u), // x
+                       ::testing::Values(1ull, 3ull, 5ull),
+                       ::testing::Values<Addr>(0, 6, 17, 130)));
+
+/** Lemma 5 / Theorem 3: T-matched families on the Eq. 2 mapping. */
+class Theorem3Test : public ::testing::TestWithParam<
+    std::tuple<unsigned, unsigned>> // lambda, x
+{
+};
+
+TEST_P(Theorem3Test, TMatchedWindows)
+{
+    const auto [lambda, x] = GetParam();
+    const auto map = figure7();
+    const unsigned t = map.t(), s = map.xorDistance();
+    const unsigned y = map.sectionPos();
+    const std::uint64_t t_cycles = 1u << t;
+    const std::uint64_t len = std::uint64_t{1} << lambda;
+    const auto wins = theory::sectionedWindows(s, y, t, lambda);
+
+    bool all_matched = true;
+    for (std::uint64_t sigma : {1ull, 3ull, 5ull}) {
+        for (Addr a1 : {0ull, 6ull, 100ull}) {
+            all_matched &= isTMatched(
+                map, a1, Stride::fromFamily(sigma, x), len, t_cycles);
+        }
+    }
+    if (wins.low.contains(x) || wins.high.contains(x)) {
+        EXPECT_TRUE(all_matched) << "x=" << x << " in window";
+    } else if (x > y) {
+        EXPECT_FALSE(all_matched) << "x=" << x << " above y";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem3Test,
+    ::testing::Combine(::testing::Values(5u, 6u, 7u, 9u), // lambda
+                       ::testing::Range(0u, 11u)));       // x
+
+/** Measured period equals the formula. */
+class SectionedPeriodTest : public ::testing::TestWithParam<
+    std::tuple<unsigned, std::uint64_t>> // x, sigma
+{
+};
+
+TEST_P(SectionedPeriodTest, MeasuredEqualsFormula)
+{
+    const auto [x, sigma] = GetParam();
+    const auto map = figure7();
+    const Stride stride = Stride::fromFamily(sigma, x);
+    const std::uint64_t expect = map.period(x);
+    EXPECT_EQ(measuredPeriod(map, 6, stride, expect, 4 * expect),
+              expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SectionedPeriodTest,
+    ::testing::Combine(::testing::Values(0u, 2u, 4u, 6u, 8u, 9u, 10u),
+                       ::testing::Values(1ull, 3ull)));
+
+} // namespace
+} // namespace cfva
