@@ -8,42 +8,24 @@
  * but is narrow.  For s > lambda-t it keeps its full width but
  * slides off x = 0, losing the most populous families.  s =
  * lambda-t is the unique sweet spot — the paper's recommendation,
- * audited here analytically and by simulation census.
+ * audited here analytically and by a simulation census.
+ *
+ * The census runs as ONE SweepEngine batch: every candidate s is a
+ * mapping axis entry, and all (s, family, sigma, start) probes are
+ * expanded into independent jobs and executed on the thread pool.
  */
 
 #include <iostream>
+#include <map>
+#include <sstream>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/access_unit.h"
+#include "sim/sweep_engine.h"
 #include "theory/theory.h"
 
 using namespace cfva;
-
-namespace {
-
-/** Families 0..x_max conflict free in simulation for all probes. */
-unsigned
-censusFamilies(const VectorAccessUnit &unit, unsigned x_max,
-               std::uint64_t len)
-{
-    unsigned count = 0;
-    for (unsigned x = 0; x <= x_max; ++x) {
-        bool all_cf = true;
-        for (std::uint64_t sigma : {1ull, 3ull, 31ull}) {
-            for (Addr a1 : {0ull, 13ull}) {
-                all_cf &= unit.access(a1,
-                                      Stride::fromFamily(sigma, x),
-                                      len)
-                              .conflictFree;
-            }
-        }
-        count += all_cf ? 1 : 0;
-    }
-    return count;
-}
-
-} // namespace
 
 int
 main()
@@ -52,14 +34,47 @@ main()
                        "distance s");
 
     const unsigned t = 2, lambda = 8;
-    const std::uint64_t len = 1u << lambda;
+    const unsigned s_lo = t, s_hi = lambda - t + 2;
+    const unsigned x_max = lambda - t + 3;
+
+    // One batch: the s ablation x families 0..x_max x probe
+    // strides x probe starts, all as independent sweep jobs.
+    sim::ScenarioGrid grid;
+    for (unsigned s = s_lo; s <= s_hi; ++s) {
+        VectorUnitConfig cfg;
+        cfg.kind = MemoryKind::Matched;
+        cfg.t = t;
+        cfg.lambda = lambda;
+        cfg.sOverride = s;
+        grid.mappings.push_back(cfg);
+    }
+    grid.addFamilies(0, x_max, {1, 3, 31});
+    grid.starts = {0, 13};
+
+    const sim::SweepReport report = sim::SweepEngine().run(grid);
+
+    // Census: family x is conflict free for mapping i iff every
+    // probe of that family achieved the minimum latency.
+    std::map<std::pair<std::size_t, unsigned>, bool> familyCf;
+    for (const auto &o : report.outcomes) {
+        auto key = std::make_pair(o.mappingIndex, o.family);
+        auto [it, inserted] = familyCf.emplace(key, o.conflictFree);
+        if (!inserted)
+            it->second &= o.conflictFree;
+    }
+    auto censusFamilies = [&](std::size_t mi) {
+        unsigned count = 0;
+        for (unsigned x = 0; x <= x_max; ++x)
+            count += familyCf.at({mi, x}) ? 1 : 0;
+        return count;
+    };
 
     TextTable table({"s", "window", "families", "stride fraction f",
                      "eta", "measured families"});
     double best_f = 0.0;
     unsigned best_s = 0;
     bool census_matches = true;
-    for (unsigned s = t; s <= lambda - t + 2; ++s) {
+    for (unsigned s = s_lo; s <= s_hi; ++s) {
         const auto win = theory::matchedWindow(s, t, lambda);
         const double f = theory::windowFraction(win);
         // eta with the window treated as [lo, hi]: families below
@@ -77,14 +92,7 @@ main()
                                 static_cast<unsigned>(win.hi), t),
                             3);
 
-        VectorUnitConfig cfg;
-        cfg.kind = MemoryKind::Matched;
-        cfg.t = t;
-        cfg.lambda = lambda;
-        cfg.sOverride = s;
-        const VectorAccessUnit unit(cfg);
-        const unsigned measured =
-            censusFamilies(unit, lambda - t + 3, len);
+        const unsigned measured = censusFamilies(s - s_lo);
         census_matches &= measured == win.families();
 
         std::ostringstream w;
@@ -104,6 +112,8 @@ main()
                 "for every s", census_matches);
     audit.check("s = lambda-t covers the largest stride fraction",
                 best_f == theory::conflictFreeFraction(lambda - t));
+    audit.compare("sweep batch size",
+                  grid.jobCount(), report.jobs());
 
     std::cout << "  below lambda-t the window is truncated at "
                  "x = 0; above it, the full-width\n  window slides "

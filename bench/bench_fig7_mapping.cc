@@ -68,8 +68,12 @@ main()
             const std::uint64_t e = i + k1 * 8;
             const ModuleId m =
                 map.moduleOf(elementAddress(6, s, e));
-            elems += (k1 ? "," : "") + std::to_string(e);
-            mods += (k1 ? "," : "") + std::to_string(m);
+            if (k1) {
+                elems += ',';
+                mods += ',';
+            }
+            elems += std::to_string(e);
+            mods += std::to_string(m);
             subs_ok &=
                 m == (i % 2 == 0 ? expect_even[k1] : expect_odd[k1]);
         }

@@ -56,4 +56,8 @@
 #include "vproc/processor.h"
 #include "vproc/stripmine.h"
 
+// Batch scenario sweeps.
+#include "sim/scenario.h"
+#include "sim/sweep_engine.h"
+
 #endif // CFVA_CFVA_H

@@ -1,0 +1,72 @@
+#include "sim/scenario.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/stride.h"
+
+namespace cfva::sim {
+
+void
+ScenarioGrid::addFamilies(unsigned xLo, unsigned xHi,
+                          const std::vector<std::uint64_t> &sigmas)
+{
+    cfva_assert(xLo <= xHi, "empty family range: ", xLo, "..", xHi);
+    for (unsigned x = xLo; x <= xHi; ++x) {
+        for (std::uint64_t sigma : sigmas) {
+            cfva_assert(sigma % 2 == 1,
+                        "family multiplier must be odd: ", sigma);
+            cfva_assert(x < 63 && sigma <= (~std::uint64_t{0} >> x),
+                        "stride ", sigma, " * 2^", x,
+                        " overflows the stride range");
+            strides.push_back(Stride::fromFamily(sigma, x).value());
+        }
+    }
+}
+
+std::size_t
+ScenarioGrid::jobCount() const
+{
+    return mappings.size() * strides.size() * lengths.size()
+           * (starts.size() + randomStarts) * ports.size();
+}
+
+std::vector<Scenario>
+ScenarioGrid::expand() const
+{
+    for (const auto &cfg : mappings)
+        cfg.validate();
+    for (std::uint64_t s : strides)
+        cfva_assert(s != 0, "stride 0 is not a vector access");
+    for (unsigned p : ports)
+        cfva_assert(p >= 1, "port count must be positive");
+
+    std::vector<Scenario> jobs;
+    jobs.reserve(jobCount());
+
+    // One sequential pass; the Rng is consumed in expansion order,
+    // so the same (grid, seed) always yields the same job list.
+    Rng rng(seed);
+    for (std::size_t mi = 0; mi < mappings.size(); ++mi) {
+        for (std::uint64_t stride : strides) {
+            for (std::uint64_t len : lengths) {
+                const std::uint64_t resolved =
+                    len ? len : mappings[mi].registerLength();
+                for (unsigned p : ports) {
+                    for (Addr a1 : starts) {
+                        jobs.push_back({jobs.size(), mi, stride,
+                                        resolved, a1, p});
+                    }
+                    for (unsigned r = 0; r < randomStarts; ++r) {
+                        jobs.push_back({jobs.size(), mi, stride,
+                                        resolved,
+                                        rng.below(randomStartBound),
+                                        p});
+                    }
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+} // namespace cfva::sim

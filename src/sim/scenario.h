@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Declarative scenario grids for batch simulation.
+ *
+ * A ScenarioGrid is the cross product of mapping configurations
+ * (kind, t, lambda, s/y/m overrides, buffering), stride sets, access
+ * lengths, start addresses, and port counts.  expand() flattens the
+ * grid into a dense, deterministically ordered list of independent
+ * simulation jobs that the SweepEngine fans out over a thread pool.
+ * Randomized start addresses are drawn during expansion from the
+ * grid's seed, so the job list — and therefore the whole sweep — is
+ * reproducible at any thread count.
+ */
+
+#ifndef CFVA_SIM_SCENARIO_H
+#define CFVA_SIM_SCENARIO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "core/config.h"
+
+namespace cfva::sim {
+
+/** One fully expanded simulation job. */
+struct Scenario
+{
+    std::size_t index = 0;        //!< dense job id (expansion order)
+    std::size_t mappingIndex = 0; //!< into ScenarioGrid::mappings
+    std::uint64_t stride = 1;     //!< raw stride value S
+    std::uint64_t length = 0;     //!< elements accessed
+    Addr a1 = 0;                  //!< start address
+    unsigned ports = 1;           //!< simultaneous vector streams
+
+    bool operator==(const Scenario &o) const = default;
+};
+
+/**
+ * The declarative cross product.  Axes left at their defaults
+ * contribute a single point; an empty mandatory axis (mappings or
+ * strides) expands to zero jobs.
+ */
+struct ScenarioGrid
+{
+    /** Mapping/memory configurations; validated before expansion. */
+    std::vector<VectorUnitConfig> mappings;
+
+    /** Raw stride values; use addFamilies() for (sigma, x) sets. */
+    std::vector<std::uint64_t> strides;
+
+    /**
+     * Access lengths in elements.  The value 0 means "the full
+     * register length of the mapping under test" and is resolved
+     * per mapping during expansion.  Defaults to one full-register
+     * access.
+     */
+    std::vector<std::uint64_t> lengths = {0};
+
+    /** Explicit start addresses. */
+    std::vector<Addr> starts = {0};
+
+    /**
+     * Extra randomized start addresses per (mapping, stride,
+     * length, ports) combination, drawn deterministically from
+     * @ref seed during expansion.
+     */
+    unsigned randomStarts = 0;
+
+    /** Port counts; ports > 1 use the multi-port simulator. */
+    std::vector<unsigned> ports = {1};
+
+    /** Seed for the randomized start addresses. */
+    std::uint64_t seed = 0x5EEDF00Dull;
+
+    /** Address distance between simultaneous port streams. */
+    Addr portStagger = Addr{1} << 20;
+
+    /** Randomized starts are drawn below this bound. */
+    Addr randomStartBound = Addr{1} << 24;
+
+    /**
+     * Appends the strides {sigma * 2^x : x in [xLo, xHi], sigma in
+     * @p sigmas} to the stride axis.  @p sigmas must be odd.
+     */
+    void addFamilies(unsigned xLo, unsigned xHi,
+                     const std::vector<std::uint64_t> &sigmas);
+
+    /** Number of jobs expand() will produce. */
+    std::size_t jobCount() const;
+
+    /**
+     * Flattens the grid into jobs in deterministic order and
+     * resolves randomized starts.  Calls validate() on every
+     * mapping configuration first.
+     */
+    std::vector<Scenario> expand() const;
+};
+
+} // namespace cfva::sim
+
+#endif // CFVA_SIM_SCENARIO_H

@@ -1,0 +1,329 @@
+#include "sim/sweep_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stride.h"
+#include "memsys/multi_port.h"
+#include "theory/theory.h"
+
+namespace cfva::sim {
+
+double
+ScenarioOutcome::efficiency() const
+{
+    if (latency == 0)
+        return 0.0;
+    return static_cast<double>(minLatency)
+           / static_cast<double>(latency);
+}
+
+std::uint64_t
+SweepReport::conflictFreeJobs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &o : outcomes)
+        n += o.conflictFree ? 1 : 0;
+    return n;
+}
+
+Cycle
+SweepReport::totalLatency() const
+{
+    Cycle sum = 0;
+    for (const auto &o : outcomes)
+        sum += o.latency;
+    return sum;
+}
+
+std::vector<MappingSummary>
+SweepReport::perMapping() const
+{
+    std::vector<MappingSummary> rows(mappingLabels.size());
+    std::vector<double> effSum(mappingLabels.size(), 0.0);
+    for (std::size_t i = 0; i < mappingLabels.size(); ++i)
+        rows[i].label = mappingLabels[i];
+    for (const auto &o : outcomes) {
+        cfva_assert(o.mappingIndex < rows.size(),
+                    "outcome references unknown mapping ",
+                    o.mappingIndex);
+        auto &r = rows[o.mappingIndex];
+        ++r.jobs;
+        r.conflictFree += o.conflictFree ? 1 : 0;
+        r.totalLatency += o.latency;
+        r.totalMinLatency += o.minLatency;
+        r.totalStalls += o.stallCycles;
+        effSum[o.mappingIndex] += o.efficiency();
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        rows[i].meanEfficiency =
+            rows[i].jobs ? effSum[i] / static_cast<double>(rows[i].jobs)
+                         : 0.0;
+    }
+    return rows;
+}
+
+TextTable
+SweepReport::table() const
+{
+    TextTable t({"job", "mapping", "stride", "family", "length",
+                 "a1", "ports", "latency", "min_latency", "stalls",
+                 "conflict_free", "in_window", "efficiency"});
+    for (const auto &o : outcomes) {
+        t.row(o.index, mappingLabels[o.mappingIndex], o.stride,
+              o.family, o.length, o.a1, o.ports, o.latency,
+              o.minLatency, o.stallCycles, o.conflictFree ? 1 : 0,
+              o.inWindow ? 1 : 0, fixed(o.efficiency(), 4));
+    }
+    return t;
+}
+
+TextTable
+SweepReport::summaryTable() const
+{
+    TextTable t({"mapping", "jobs", "conflict-free", "total latency",
+                 "total stalls", "mean efficiency"});
+    for (const auto &r : perMapping()) {
+        t.row(r.label, r.jobs, ratio(r.conflictFree, r.jobs),
+              r.totalLatency, r.totalStalls,
+              fixed(r.meanEfficiency, 4));
+    }
+    return t;
+}
+
+void
+SweepReport::writeCsv(std::ostream &os) const
+{
+    table().printCsv(os);
+}
+
+void
+SweepReport::writeJson(std::ostream &os) const
+{
+    os << "[";
+    bool first = true;
+    for (const auto &o : outcomes) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "  {\"job\": " << o.index << ", \"mapping\": \""
+           << mappingLabels[o.mappingIndex] << "\", \"stride\": "
+           << o.stride << ", \"family\": " << o.family
+           << ", \"length\": " << o.length << ", \"a1\": " << o.a1
+           << ", \"ports\": " << o.ports << ", \"latency\": "
+           << o.latency << ", \"min_latency\": " << o.minLatency
+           << ", \"stalls\": " << o.stallCycles
+           << ", \"conflict_free\": "
+           << (o.conflictFree ? "true" : "false")
+           << ", \"in_window\": " << (o.inWindow ? "true" : "false")
+           << ", \"efficiency\": " << fixed(o.efficiency(), 6)
+           << "}";
+    }
+    os << "\n]\n";
+}
+
+SweepEngine::SweepEngine(SweepOptions opts) : opts_(opts)
+{
+    cfva_assert(opts_.grain >= 1, "work-item grain must be positive");
+}
+
+ScenarioOutcome
+SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
+                         const VectorAccessUnit &unit)
+{
+    const Stride stride(sc.stride);
+
+    ScenarioOutcome out;
+    out.index = sc.index;
+    out.mappingIndex = sc.mappingIndex;
+    out.stride = sc.stride;
+    out.family = stride.family();
+    out.length = sc.length;
+    out.a1 = sc.a1;
+    out.ports = sc.ports;
+    const Cycle t_cycles = unit.config().serviceCycles();
+    if (sc.ports <= 1) {
+        out.minLatency = theory::minimumLatency(sc.length, t_cycles);
+    } else {
+        // Multi-port floor: every port needs at least L + T + 1,
+        // and M modules serving P*L requests of T cycles each
+        // bound the makespan by ceil(P*L*T/M) + T + 1.
+        const std::uint64_t modules = unit.memConfig().modules();
+        const std::uint64_t demand =
+            (sc.ports * sc.length * t_cycles + modules - 1)
+            / modules;
+        out.minLatency =
+            std::max<std::uint64_t>(sc.length, demand) + t_cycles
+            + 1;
+    }
+    out.inWindow = unit.inWindow(stride);
+
+    if (sc.ports <= 1) {
+        const AccessResult r = unit.access(sc.a1, stride, sc.length);
+        out.latency = r.latency;
+        out.stallCycles = r.stallCycles;
+        out.conflictFree = r.conflictFree;
+        return out;
+    }
+
+    // Multi-port: the same (stride, length) access issued from
+    // every port simultaneously at staggered base addresses, the
+    // "several vectors accessed simultaneously" extension.
+    std::vector<std::vector<Request>> streams;
+    streams.reserve(sc.ports);
+    for (unsigned p = 0; p < sc.ports; ++p) {
+        const Addr base = sc.a1 + Addr{p} * grid.portStagger;
+        streams.push_back(
+            unit.plan(base, stride, sc.length).stream);
+    }
+    const MultiPortResult r = simulateMultiPort(
+        unit.memConfig(), unit.mapping(), streams);
+    out.latency = r.makespan;
+    for (const auto &port : r.ports)
+        out.stallCycles += port.stallCycles;
+    out.conflictFree = r.allConflictFree();
+    return out;
+}
+
+namespace {
+
+/** A contiguous range of job indices, the unit of stealing. */
+struct Chunk
+{
+    std::size_t first = 0;
+    std::size_t last = 0; // exclusive
+};
+
+/**
+ * Everything one worker touches on the hot path: its share of the
+ * work, its lazily built access units, and its result buffer.
+ * Workers only take another worker's mutex when stealing.
+ */
+struct WorkerArena
+{
+    std::mutex mutex;
+    std::deque<Chunk> chunks;
+
+    // Arena-local state, never shared.
+    std::vector<std::unique_ptr<VectorAccessUnit>> units;
+    std::vector<ScenarioOutcome> outcomes;
+
+    const VectorAccessUnit &
+    unitFor(const ScenarioGrid &grid, std::size_t mappingIndex)
+    {
+        if (units.empty())
+            units.resize(grid.mappings.size());
+        auto &slot = units[mappingIndex];
+        if (!slot) {
+            slot = std::make_unique<VectorAccessUnit>(
+                grid.mappings[mappingIndex]);
+        }
+        return *slot;
+    }
+};
+
+/** Pops from the front of the worker's own deque. */
+bool
+popOwn(WorkerArena &w, Chunk &out)
+{
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.chunks.empty())
+        return false;
+    out = w.chunks.front();
+    w.chunks.pop_front();
+    return true;
+}
+
+/** Steals from the back of a victim's deque. */
+bool
+stealFrom(WorkerArena &victim, Chunk &out)
+{
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.chunks.empty())
+        return false;
+    out = victim.chunks.back();
+    victim.chunks.pop_back();
+    return true;
+}
+
+} // namespace
+
+SweepReport
+SweepEngine::run(const ScenarioGrid &grid) const
+{
+    const std::vector<Scenario> jobs = grid.expand();
+
+    SweepReport report;
+    report.mappingLabels.reserve(grid.mappings.size());
+    for (const auto &cfg : grid.mappings)
+        report.mappingLabels.push_back(cfg.describe());
+    if (jobs.empty())
+        return report;
+
+    unsigned threads = opts_.threads
+                           ? opts_.threads
+                           : std::max(1u,
+                                      std::thread::
+                                          hardware_concurrency());
+    const std::size_t chunkCount =
+        (jobs.size() + opts_.grain - 1) / opts_.grain;
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, chunkCount));
+
+    std::vector<WorkerArena> arenas(threads);
+    for (std::size_t c = 0; c < chunkCount; ++c) {
+        const std::size_t first = c * opts_.grain;
+        const std::size_t last =
+            std::min(first + opts_.grain, jobs.size());
+        arenas[c % threads].chunks.push_back({first, last});
+    }
+
+    auto work = [&](unsigned self) {
+        WorkerArena &mine = arenas[self];
+        Chunk chunk;
+        for (;;) {
+            bool have = popOwn(mine, chunk);
+            for (unsigned v = 1; !have && v < threads; ++v)
+                have = stealFrom(arenas[(self + v) % threads], chunk);
+            if (!have)
+                return; // no producer: empty everywhere means done
+            for (std::size_t i = chunk.first; i < chunk.last; ++i) {
+                const Scenario &sc = jobs[i];
+                mine.outcomes.push_back(runScenario(
+                    grid, sc, mine.unitFor(grid, sc.mappingIndex)));
+            }
+        }
+    };
+
+    if (threads == 1) {
+        work(0);
+    } else {
+        std::vector<std::jthread> pool;
+        pool.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            pool.emplace_back(work, i);
+    }
+
+    // Deterministic merge: outcomes carry their job index, so the
+    // sorted result is independent of which worker ran what.
+    report.outcomes.reserve(jobs.size());
+    for (auto &arena : arenas) {
+        report.outcomes.insert(report.outcomes.end(),
+                               arena.outcomes.begin(),
+                               arena.outcomes.end());
+    }
+    std::sort(report.outcomes.begin(), report.outcomes.end(),
+              [](const ScenarioOutcome &a, const ScenarioOutcome &b) {
+                  return a.index < b.index;
+              });
+    cfva_assert(report.outcomes.size() == jobs.size(),
+                "sweep lost jobs: ", report.outcomes.size(), " of ",
+                jobs.size());
+    return report;
+}
+
+} // namespace cfva::sim

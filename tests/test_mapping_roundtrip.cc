@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Property test: every factory-constructible mapping is a bijection
+ * realized by addressOf(moduleOf, displacementOf).
+ *
+ * The mapping contract (mapping/mapping.h) requires that
+ * (moduleOf(A), displacementOf(A)) is injective and that addressOf
+ * inverts it on the image.  The factory helpers cover the paper's
+ * recommended parameter choices across the (t, lambda) plane; this
+ * test drives each of them with randomized and structured addresses
+ * and checks the round trip plus the module-range invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/stats.h"
+#include "mapping/factory.h"
+#include "test_util.h"
+
+namespace cfva {
+namespace {
+
+/** The factory-constructible (t, lambda) points under test. */
+std::vector<std::pair<unsigned, unsigned>>
+factoryParams()
+{
+    std::vector<std::pair<unsigned, unsigned>> params;
+    for (unsigned t = 1; t <= 4; ++t)
+        for (unsigned lambda = 2 * t; lambda <= 2 * t + 4; ++lambda)
+            params.emplace_back(t, lambda);
+    return params;
+}
+
+void
+checkRoundTrip(const ModuleMapping &map, Addr a)
+{
+    const ModuleId module = map.moduleOf(a);
+    const Addr disp = map.displacementOf(a);
+    EXPECT_LT(module, map.modules())
+        << map.name() << " maps " << a << " out of range";
+    EXPECT_EQ(map.addressOf(module, disp), a)
+        << map.name() << " fails to round-trip " << a;
+}
+
+void
+exerciseMapping(const ModuleMapping &map, std::uint64_t seed)
+{
+    // Structured addresses: the low corner, where the paper's bit
+    // fields (module bits, XOR distance, section position) overlap.
+    for (Addr a = 0; a < 4096; ++a)
+        checkRoundTrip(map, a);
+
+    // Randomized addresses across 40 bits of address space.
+    Rng rng(seed);
+    for (int i = 0; i < 4096; ++i)
+        checkRoundTrip(map, rng.below(Addr{1} << 40));
+}
+
+TEST(MappingRoundTrip, MatchedFactoryMappings)
+{
+    for (const auto &[t, lambda] : factoryParams()) {
+        SCOPED_TRACE(testing::Message()
+                     << "t=" << t << " lambda=" << lambda);
+        const MappingPtr map = makeMatchedForLength(t, lambda);
+        exerciseMapping(*map, 0x9E3779B9ull + t * 64 + lambda);
+    }
+}
+
+TEST(MappingRoundTrip, SectionedFactoryMappings)
+{
+    for (const auto &[t, lambda] : factoryParams()) {
+        SCOPED_TRACE(testing::Message()
+                     << "t=" << t << " lambda=" << lambda);
+        const MappingPtr map = makeSectionedForLength(t, lambda);
+        exerciseMapping(*map, 0xB5297A4Dull + t * 64 + lambda);
+    }
+}
+
+TEST(MappingRoundTrip, DistinctAddressesMapToDistinctLocations)
+{
+    // Injectivity spot check: over a full low window, no two
+    // addresses may share (module, displacement).
+    for (const auto make :
+         {makeMatchedForLength, makeSectionedForLength}) {
+        const MappingPtr map = make(2, 6);
+        std::vector<std::set<Addr>> seen(map->modules());
+        const Addr window = 1 << 14;
+        for (Addr a = 0; a < window; ++a) {
+            const auto loc = map->locate(a);
+            ASSERT_TRUE(seen[loc.module].insert(loc.displacement)
+                            .second)
+                << map->name() << ": address " << a
+                << " collides at module " << loc.module
+                << " displacement " << loc.displacement;
+        }
+    }
+}
+
+} // namespace
+} // namespace cfva

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Golden test pinning the paper's Sec. 3 worked example end to end
+ * through the SweepEngine.
+ *
+ * The running example: matched memory with M = T = 8 (t = 3),
+ * register length L = 128 (lambda = 7), XOR distance s = 4, and
+ * the stride S = 12 = 3 * 2^2 — family x = 2, sigma = 3.  Theorem 1
+ * puts x = 2 inside the conflict-free window [s-N, s] = [0, 4], the
+ * canonical temporal distribution has period P_2 = 2^{s+t-x} = 32,
+ * and the out-of-order access achieves the minimum latency
+ * L + T + 1 = 137.  Every number here is pinned from the paper and
+ * cross-checked against theory/theory.h and one SweepEngine job.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/access_unit.h"
+#include "sim/sweep_engine.h"
+#include "test_util.h"
+#include "theory/theory.h"
+
+namespace cfva {
+namespace {
+
+// Sec. 3 running example parameters.
+constexpr unsigned kT = 3;       // M = T = 8
+constexpr unsigned kLambda = 7;  // L = 128
+constexpr unsigned kS = 4;       // s = lambda - t
+constexpr std::uint64_t kStride = 12; // 3 * 2^2
+constexpr unsigned kFamily = 2;
+constexpr std::uint64_t kLength = 128;
+
+TEST(Sec3Golden, TheoryPredictions)
+{
+    // Stride 12 decomposes as sigma = 3, x = 2.
+    const Stride stride(kStride);
+    EXPECT_EQ(stride.sigma(), 3u);
+    EXPECT_EQ(stride.family(), kFamily);
+
+    // The recommended s for (t = 3, lambda = 7) is 4.
+    EXPECT_EQ(theory::recommendedS(kT, kLambda), kS);
+
+    // Theorem 1: N = min(lambda-t, s) = 4, window [0, 4].
+    EXPECT_EQ(theory::theoremN(kS, kT, kLambda), 4u);
+    const auto window = theory::matchedWindow(kS, kT, kLambda);
+    EXPECT_EQ(window.lo, 0);
+    EXPECT_EQ(window.hi, 4);
+    EXPECT_EQ(window.families(), 5u);
+    EXPECT_TRUE(window.contains(kFamily));
+
+    // Canonical period P_2 = 2^{s+t-x} = 32 elements.
+    EXPECT_EQ(theory::periodMatched(kS, kT, kFamily), 32u);
+
+    // Minimum latency L + T + 1 = 137 cycles.
+    EXPECT_EQ(theory::minimumLatency(kLength, 1u << kT), 137u);
+}
+
+TEST(Sec3Golden, OneSweepJobReproducesTheExample)
+{
+    const VectorUnitConfig cfg = paperMatchedExample();
+    ASSERT_EQ(cfg.t, kT);
+    ASSERT_EQ(cfg.lambda, kLambda);
+    ASSERT_EQ(cfg.s(), kS);
+    ASSERT_EQ(cfg.registerLength(), kLength);
+
+    sim::ScenarioGrid grid;
+    grid.mappings.push_back(cfg);
+    grid.strides = {kStride};
+
+    const sim::SweepReport report = sim::SweepEngine().run(grid);
+    ASSERT_EQ(report.jobs(), 1u);
+    const sim::ScenarioOutcome &o = report.outcomes[0];
+
+    // The golden numbers, cross-checked against theory above.
+    EXPECT_EQ(o.stride, kStride);
+    EXPECT_EQ(o.family, kFamily);
+    EXPECT_EQ(o.length, kLength);
+    EXPECT_TRUE(o.inWindow);
+    EXPECT_TRUE(o.conflictFree);
+    EXPECT_EQ(o.minLatency, 137u);
+    EXPECT_EQ(o.latency, 137u);
+    EXPECT_EQ(o.stallCycles, 0u);
+    EXPECT_DOUBLE_EQ(o.efficiency(), 1.0);
+}
+
+TEST(Sec3Golden, SweepJobAgreesWithDirectUnitAndDeliveries)
+{
+    const VectorUnitConfig cfg = paperMatchedExample();
+    const VectorAccessUnit unit(cfg);
+
+    // The unit's window is the Theorem 1 window and x = 2 is in it.
+    EXPECT_EQ(unit.window().lo, 0);
+    EXPECT_EQ(unit.window().hi, 4);
+    EXPECT_TRUE(unit.inWindow(Stride(kStride)));
+
+    const AccessResult direct =
+        unit.access(0, Stride(kStride), kLength);
+    EXPECT_TRUE(direct.conflictFree);
+    EXPECT_EQ(direct.latency, 137u);
+
+    // Every element is delivered exactly once.
+    ASSERT_EQ(direct.deliveries.size(), kLength);
+    std::vector<bool> seen(kLength, false);
+    for (const auto &d : direct.deliveries) {
+        ASSERT_LT(d.element, kLength);
+        EXPECT_FALSE(seen[d.element]);
+        seen[d.element] = true;
+        // Module numbers stay in range on the M = 8 memory.
+        EXPECT_LT(d.module, 8u);
+    }
+
+    // The sweep outcome equals the direct simulation.
+    sim::ScenarioGrid grid;
+    grid.mappings.push_back(cfg);
+    grid.strides = {kStride};
+    const sim::SweepReport report = sim::SweepEngine().run(grid);
+    ASSERT_EQ(report.jobs(), 1u);
+    EXPECT_EQ(report.outcomes[0].latency, direct.latency);
+    EXPECT_EQ(report.outcomes[0].stallCycles, direct.stallCycles);
+    EXPECT_EQ(report.outcomes[0].conflictFree,
+              direct.conflictFree);
+}
+
+} // namespace
+} // namespace cfva

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * cfva_sweep: batch conflict-free access simulation from the
+ * command line.
+ *
+ * Builds a ScenarioGrid from the options below, runs it on the
+ * SweepEngine, and prints a per-mapping summary (optionally the
+ * full per-scenario table as CSV/JSON).  --bench times the same
+ * grid at several thread counts and reports the speedup, which is
+ * how the batching path is validated.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cfva/cfva.h"
+#include "common/logging.h"
+
+using namespace cfva;
+
+namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: cfva_sweep [options]\n"
+          "\n"
+          "Grid axes (comma-separated lists cross-multiply):\n"
+          "  --kinds K1,K2      matched | sectioned | simple\n"
+          "                     (default matched,sectioned)\n"
+          "  --t LIST           log2 service time T (default 2,3)\n"
+          "  --lambda LIST      log2 register length (default 7)\n"
+          "  --m LIST           log2 module count for kind=simple\n"
+          "  --families LO..HI  stride families x (default 0..7)\n"
+          "  --sigmas LIST      odd multipliers (default "
+          "1,3,5,7,9,11,13,15)\n"
+          "  --strides LIST     explicit strides (replaces "
+          "families/sigmas)\n"
+          "  --lengths LIST     access lengths; 0 = full register "
+          "(default 0)\n"
+          "  --starts LIST      start addresses (default 0)\n"
+          "  --random-starts N  extra random starts per combo "
+          "(default 3)\n"
+          "  --ports LIST       simultaneous ports (default 1)\n"
+          "  --seed S           seed for random starts\n"
+          "\n"
+          "Execution and output:\n"
+          "  --threads N        worker threads (0 = all cores)\n"
+          "  --grain N          jobs per work item (default 8)\n"
+          "  --csv FILE         per-scenario CSV ('-' = stdout)\n"
+          "  --json FILE        per-scenario JSON ('-' = stdout)\n"
+          "  --no-summary       skip the summary table\n"
+          "  --bench T1,T2,...  time the grid at each thread count\n"
+          "  --help\n";
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> parts;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            parts.push_back(item);
+    return parts;
+}
+
+std::uint64_t
+parseU64(const std::string &arg, const char *what)
+{
+    try {
+        // stoull accepts (and wraps) a leading minus; reject it.
+        if (arg.empty() || arg[0] == '-')
+            throw std::invalid_argument(arg);
+        std::size_t used = 0;
+        const std::uint64_t v = std::stoull(arg, &used);
+        if (used != arg.size())
+            throw std::invalid_argument(arg);
+        return v;
+    } catch (const std::exception &) {
+        cfva_fatal("bad ", what, " value: ", arg);
+    }
+}
+
+unsigned
+parseU32(const std::string &arg, const char *what)
+{
+    const std::uint64_t v = parseU64(arg, what);
+    if (v > std::numeric_limits<unsigned>::max())
+        cfva_fatal(what, " value out of range: ", arg);
+    return static_cast<unsigned>(v);
+}
+
+std::vector<std::uint64_t>
+parseU64List(const std::string &arg, const char *what)
+{
+    std::vector<std::uint64_t> vals;
+    for (const auto &p : splitList(arg))
+        vals.push_back(parseU64(p, what));
+    if (vals.empty())
+        cfva_fatal("empty ", what, " list");
+    return vals;
+}
+
+/** Parses "LO..HI" (or a single value) into an inclusive range. */
+std::pair<unsigned, unsigned>
+parseRange(const std::string &arg, const char *what)
+{
+    auto bounded = [&](const std::string &part) {
+        const std::uint64_t v = parseU64(part, what);
+        if (v >= 63) // Stride::fromFamily needs x < 63
+            cfva_fatal(what, " value out of range: ", part);
+        return static_cast<unsigned>(v);
+    };
+    const auto dots = arg.find("..");
+    if (dots == std::string::npos) {
+        const unsigned v = bounded(arg);
+        return {v, v};
+    }
+    const unsigned lo = bounded(arg.substr(0, dots));
+    const unsigned hi = bounded(arg.substr(dots + 2));
+    if (lo > hi)
+        cfva_fatal("empty range: ", arg);
+    return {lo, hi};
+}
+
+MemoryKind
+parseKind(const std::string &name)
+{
+    if (name == "matched")
+        return MemoryKind::Matched;
+    if (name == "sectioned")
+        return MemoryKind::Sectioned;
+    if (name == "simple")
+        return MemoryKind::SimpleUnmatched;
+    cfva_fatal("unknown memory kind: ", name,
+               " (expected matched|sectioned|simple)");
+}
+
+std::ostream *
+openSink(const std::string &path, std::ofstream &file)
+{
+    if (path == "-")
+        return &std::cout;
+    file.open(path);
+    if (!file)
+        cfva_fatal("cannot open ", path, " for writing");
+    return &file;
+}
+
+struct Options
+{
+    std::vector<std::string> kinds = {"matched", "sectioned"};
+    std::vector<std::uint64_t> ts = {2, 3};
+    std::vector<std::uint64_t> lambdas = {7};
+    std::vector<std::uint64_t> ms; // only for kind=simple
+    std::pair<unsigned, unsigned> families = {0, 7};
+    std::vector<std::uint64_t> sigmas = {1, 3, 5, 7, 9, 11, 13, 15};
+    std::vector<std::uint64_t> strides; // explicit override
+    std::vector<std::uint64_t> lengths = {0};
+    std::vector<std::uint64_t> starts = {0};
+    unsigned randomStarts = 3;
+    std::vector<std::uint64_t> ports = {1};
+    std::uint64_t seed = 0x5EEDF00Dull;
+
+    unsigned threads = 0;
+    std::size_t grain = 8;
+    std::string csvPath;
+    std::string jsonPath;
+    bool summary = true;
+    std::vector<std::uint64_t> benchThreads;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    auto need = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            cfva_fatal(flag, " requires a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else if (a == "--kinds") {
+            o.kinds = splitList(need(i, "--kinds"));
+        } else if (a == "--t") {
+            o.ts = parseU64List(need(i, "--t"), "--t");
+        } else if (a == "--lambda") {
+            o.lambdas = parseU64List(need(i, "--lambda"), "--lambda");
+        } else if (a == "--m") {
+            o.ms = parseU64List(need(i, "--m"), "--m");
+        } else if (a == "--families") {
+            o.families =
+                parseRange(need(i, "--families"), "--families");
+        } else if (a == "--sigmas") {
+            o.sigmas = parseU64List(need(i, "--sigmas"), "--sigmas");
+        } else if (a == "--strides") {
+            o.strides =
+                parseU64List(need(i, "--strides"), "--strides");
+        } else if (a == "--lengths") {
+            o.lengths =
+                parseU64List(need(i, "--lengths"), "--lengths");
+        } else if (a == "--starts") {
+            o.starts = parseU64List(need(i, "--starts"), "--starts");
+        } else if (a == "--random-starts") {
+            o.randomStarts = parseU32(need(i, "--random-starts"),
+                                      "--random-starts");
+        } else if (a == "--ports") {
+            o.ports = parseU64List(need(i, "--ports"), "--ports");
+        } else if (a == "--seed") {
+            o.seed = parseU64(need(i, "--seed"), "--seed");
+        } else if (a == "--threads") {
+            o.threads = parseU32(need(i, "--threads"),
+                                 "--threads");
+        } else if (a == "--grain") {
+            o.grain = parseU64(need(i, "--grain"), "--grain");
+            if (o.grain == 0)
+                cfva_fatal("--grain must be positive");
+        } else if (a == "--csv") {
+            o.csvPath = need(i, "--csv");
+        } else if (a == "--json") {
+            o.jsonPath = need(i, "--json");
+        } else if (a == "--no-summary") {
+            o.summary = false;
+        } else if (a == "--bench") {
+            o.benchThreads =
+                parseU64List(need(i, "--bench"), "--bench");
+        } else {
+            usage(std::cerr);
+            cfva_fatal("unknown option: ", a);
+        }
+    }
+    return o;
+}
+
+sim::ScenarioGrid
+buildGrid(const Options &o)
+{
+    sim::ScenarioGrid grid;
+    for (const auto &kindName : o.kinds) {
+        const MemoryKind kind = parseKind(kindName);
+        for (std::uint64_t t : o.ts) {
+            for (std::uint64_t lambda : o.lambdas) {
+                if (lambda < 2 * t) {
+                    // s = lambda-t >= t (Sec. 3.3) is unsatisfiable.
+                    cfva_warn("skipping ", kindName, " t=", t,
+                              " lambda=", lambda,
+                              " (needs lambda >= 2t)");
+                    continue;
+                }
+                if (kind == MemoryKind::SimpleUnmatched) {
+                    if (o.ms.empty())
+                        cfva_fatal("kind=simple needs --m");
+                    for (std::uint64_t m : o.ms) {
+                        VectorUnitConfig cfg;
+                        cfg.kind = kind;
+                        cfg.t = static_cast<unsigned>(t);
+                        cfg.lambda = static_cast<unsigned>(lambda);
+                        cfg.mOverride = static_cast<unsigned>(m);
+                        grid.mappings.push_back(cfg);
+                    }
+                } else {
+                    VectorUnitConfig cfg;
+                    cfg.kind = kind;
+                    cfg.t = static_cast<unsigned>(t);
+                    cfg.lambda = static_cast<unsigned>(lambda);
+                    grid.mappings.push_back(cfg);
+                }
+            }
+        }
+    }
+    if (grid.mappings.empty())
+        cfva_fatal("no valid mapping configurations in the grid "
+                   "(every lambda < 2t?)");
+
+    if (!o.strides.empty()) {
+        for (std::uint64_t s : o.strides)
+            if (s == 0)
+                cfva_fatal("--strides values must be positive");
+        grid.strides = o.strides;
+    } else {
+        for (std::uint64_t sigma : o.sigmas) {
+            if (sigma % 2 == 0)
+                cfva_fatal("--sigmas values must be odd, got ",
+                           sigma);
+            if (sigma > (~std::uint64_t{0} >> o.families.second))
+                cfva_fatal("--sigmas ", sigma, " * 2^",
+                           o.families.second,
+                           " overflows 64 bits");
+        }
+        grid.addFamilies(o.families.first, o.families.second,
+                         o.sigmas);
+    }
+    grid.lengths = o.lengths;
+    grid.starts = o.starts;
+    grid.randomStarts = o.randomStarts;
+    grid.ports.clear();
+    for (std::uint64_t p : o.ports) {
+        if (p == 0 || p > 1024)
+            cfva_fatal("--ports values must be in 1..1024, got ", p);
+        grid.ports.push_back(static_cast<unsigned>(p));
+    }
+    grid.seed = o.seed;
+    return grid;
+}
+
+double
+timedRun(const sim::SweepEngine &engine,
+         const sim::ScenarioGrid &grid, sim::SweepReport &report)
+{
+    const auto start = std::chrono::steady_clock::now();
+    report = engine.run(grid);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parseArgs(argc, argv);
+    const sim::ScenarioGrid grid = buildGrid(o);
+
+    // Keep stdout clean for machine-readable output when a data
+    // sink targets it.
+    const bool stdoutIsSink = o.csvPath == "-" || o.jsonPath == "-";
+    if (o.csvPath == "-" && o.jsonPath == "-")
+        cfva_fatal("--csv - and --json - cannot share stdout");
+    std::ostream &info = stdoutIsSink ? std::cerr : std::cout;
+
+    info << "grid: " << grid.mappings.size() << " mappings x "
+              << grid.strides.size() << " strides x "
+              << grid.lengths.size() << " lengths x "
+              << (grid.starts.size() + grid.randomStarts)
+              << " starts x " << grid.ports.size() << " ports = "
+              << grid.jobCount() << " scenarios\n";
+
+    if (!o.benchThreads.empty()) {
+        TextTable t({"threads", "seconds", "scenarios/s", "speedup"});
+        double base = 0.0;
+        sim::SweepReport first;
+        bool allIdentical = true;
+        {
+            // Discarded warm-up run so one-time costs (page
+            // faults, allocator growth) don't skew the baseline.
+            sim::SweepOptions warm;
+            warm.threads =
+                static_cast<unsigned>(o.benchThreads.front());
+            warm.grain = o.grain;
+            sim::SweepReport scratch;
+            timedRun(sim::SweepEngine(warm), grid, scratch);
+        }
+        for (std::size_t i = 0; i < o.benchThreads.size(); ++i) {
+            sim::SweepOptions opts;
+            opts.threads = static_cast<unsigned>(o.benchThreads[i]);
+            opts.grain = o.grain;
+            sim::SweepReport report;
+            const double secs =
+                timedRun(sim::SweepEngine(opts), grid, report);
+            if (i == 0) {
+                base = secs;
+                first = report;
+            } else {
+                allIdentical &= report == first;
+            }
+            t.row(o.benchThreads[i], fixed(secs, 3),
+                  fixed(static_cast<double>(report.jobs()) / secs, 0),
+                  fixed(base / secs, 2));
+        }
+        t.print(info, "SweepEngine scaling");
+        info << (allIdentical
+                          ? "reports identical across thread counts\n"
+                          : "REPORT MISMATCH across thread counts\n");
+        if (!o.csvPath.empty()) {
+            std::ofstream file;
+            first.writeCsv(*openSink(o.csvPath, file));
+        }
+        if (!o.jsonPath.empty()) {
+            std::ofstream file;
+            first.writeJson(*openSink(o.jsonPath, file));
+        }
+        return allIdentical ? 0 : 1;
+    }
+
+    sim::SweepOptions opts;
+    opts.threads = o.threads;
+    opts.grain = o.grain;
+    sim::SweepReport report;
+    const double secs =
+        timedRun(sim::SweepEngine(opts), grid, report);
+
+    if (o.summary) {
+        report.summaryTable().print(info, "Sweep summary");
+        info << report.jobs() << " scenarios in "
+                  << fixed(secs, 3) << " s ("
+                  << fixed(static_cast<double>(report.jobs()) / secs,
+                           0)
+                  << " scenarios/s), " << report.conflictFreeJobs()
+                  << " conflict free\n";
+    }
+    if (!o.csvPath.empty()) {
+        std::ofstream file;
+        report.writeCsv(*openSink(o.csvPath, file));
+    }
+    if (!o.jsonPath.empty()) {
+        std::ofstream file;
+        report.writeJson(*openSink(o.jsonPath, file));
+    }
+    return 0;
+}
