@@ -101,29 +101,33 @@ BM_OutOfOrderAguStep(benchmark::State &state)
 }
 BENCHMARK(BM_OutOfOrderAguStep);
 
+/**
+ * One body per (engine x stream shape): each per-cycle/event pair
+ * reads directly as the event-driven speedup on that shape
+ * (conflict free = every cycle busy; conflicted = mostly stalls,
+ * where the event engine skips the dead cycles).
+ */
 void
-BM_SimulateConflictFreeAccess(benchmark::State &state)
+BM_SimulateAccess(benchmark::State &state, EngineKind engine,
+                  std::uint64_t stride)
 {
-    const VectorAccessUnit unit(paperMatchedExample());
-    const auto plan = unit.plan(16, Stride(12), 128);
+    VectorUnitConfig cfg = paperMatchedExample();
+    cfg.engine = engine;
+    const VectorAccessUnit unit(cfg);
+    const auto plan = unit.plan(16, Stride(stride), 128);
     for (auto _ : state) {
         benchmark::DoNotOptimize(unit.execute(plan));
     }
     state.SetItemsProcessed(state.iterations() * 128);
 }
-BENCHMARK(BM_SimulateConflictFreeAccess);
-
-void
-BM_SimulateConflictedAccess(benchmark::State &state)
-{
-    const VectorAccessUnit unit(paperMatchedExample());
-    const auto plan = unit.plan(16, Stride(32), 128);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(unit.execute(plan));
-    }
-    state.SetItemsProcessed(state.iterations() * 128);
-}
-BENCHMARK(BM_SimulateConflictedAccess);
+BENCHMARK_CAPTURE(BM_SimulateAccess, conflict_free_percycle,
+                  cfva::EngineKind::PerCycle, 12);
+BENCHMARK_CAPTURE(BM_SimulateAccess, conflict_free_event,
+                  cfva::EngineKind::EventDriven, 12);
+BENCHMARK_CAPTURE(BM_SimulateAccess, conflicted_percycle,
+                  cfva::EngineKind::PerCycle, 32);
+BENCHMARK_CAPTURE(BM_SimulateAccess, conflicted_event,
+                  cfva::EngineKind::EventDriven, 32);
 
 void
 BM_PlanFullAccess(benchmark::State &state)

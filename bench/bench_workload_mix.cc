@@ -20,6 +20,7 @@
  * against the end-to-end vproc run.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "bench_util.h"
@@ -127,12 +128,15 @@ struct SweepMix
 
 /**
  * Runs the unique memory accesses of one kernel — one stride, one
- * start address per strip — as a single batch over all configs.
+ * start address per strip — as a single batch over all configs on
+ * the selected simulation engine.  Returns the wall-clock seconds
+ * of the sweep so callers can report the engine speedup.
  */
-void
+double
 sweepKernel(const std::vector<VectorUnitConfig> &cfgs,
             std::uint64_t stride, const std::vector<Addr> &bases,
-            std::uint64_t length, std::vector<SweepMix> &mix)
+            std::uint64_t length, std::vector<SweepMix> &mix,
+            EngineKind engine)
 {
     sim::ScenarioGrid grid;
     grid.mappings = cfgs;
@@ -140,7 +144,11 @@ sweepKernel(const std::vector<VectorUnitConfig> &cfgs,
     grid.lengths = {length};
     grid.starts = bases;
 
-    const sim::SweepReport report = sim::SweepEngine().run(grid);
+    sim::SweepOptions opts;
+    opts.engine = engine;
+    const auto start = std::chrono::steady_clock::now();
+    const sim::SweepReport report = sim::SweepEngine(opts).run(grid);
+    const auto stop = std::chrono::steady_clock::now();
     cfva_assert(report.jobs() == cfgs.size() * bases.size(),
                 "kernel batch lost jobs");
     for (const auto &o : report.outcomes) {
@@ -149,6 +157,7 @@ sweepKernel(const std::vector<VectorUnitConfig> &cfgs,
         m.cf += o.conflictFree ? 1 : 0;
         m.latency += o.latency;
     }
+    return std::chrono::duration<double>(stop - start).count();
 }
 
 } // namespace
@@ -196,10 +205,33 @@ main()
         col_bases.push_back(kMBase + 136 * strip.firstElement);
         g_bases.push_back(kGBase + 48 * strip.firstElement);
     }
+    // Every kernel batch runs on BOTH engines: the per-cycle
+    // aggregates feed the tables below, the event-driven ones must
+    // agree bit for bit, and the timing ratio is the speedup.
     std::vector<SweepMix> sweep(cfgs.size());
-    sweepKernel(cfgs, 1, unit_bases, l, sweep);
-    sweepKernel(cfgs, 136, col_bases, l, sweep);
-    sweepKernel(cfgs, 48, g_bases, l, sweep);
+    std::vector<SweepMix> sweep_event(cfgs.size());
+    double pc_secs = 0.0, ev_secs = 0.0;
+    pc_secs += sweepKernel(cfgs, 1, unit_bases, l, sweep,
+                           EngineKind::PerCycle);
+    pc_secs += sweepKernel(cfgs, 136, col_bases, l, sweep,
+                           EngineKind::PerCycle);
+    pc_secs += sweepKernel(cfgs, 48, g_bases, l, sweep,
+                           EngineKind::PerCycle);
+    ev_secs += sweepKernel(cfgs, 1, unit_bases, l, sweep_event,
+                           EngineKind::EventDriven);
+    ev_secs += sweepKernel(cfgs, 136, col_bases, l, sweep_event,
+                           EngineKind::EventDriven);
+    ev_secs += sweepKernel(cfgs, 48, g_bases, l, sweep_event,
+                           EngineKind::EventDriven);
+
+    TextTable engine_table({"engine", "seconds", "speedup"});
+    engine_table.row("per-cycle", fixed(pc_secs, 4), fixed(1.0, 2));
+    engine_table.row("event-driven", fixed(ev_secs, 4),
+                     fixed(ev_secs > 0.0 ? pc_secs / ev_secs : 0.0,
+                           2));
+    engine_table.print(std::cout,
+                       "Kernel batches per simulation engine "
+                       "(identical aggregates required)");
 
     TextTable mem_table({"system", "memory latency", "CF accesses"});
     mem_table.row("Eq.1 s=3 (narrow window)", sweep[0].latency,
@@ -242,6 +274,26 @@ main()
     audit.check("sectioned matches the matched system here (all "
                 "strides already in the matched window)",
                 r_sect.cycles == r_matched.cycles);
+
+    // The event-driven engine must reproduce the per-cycle batch
+    // exactly, and the full vproc mix must be engine-invariant too.
+    bool engines_agree = true;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        engines_agree &= sweep[i].accesses == sweep_event[i].accesses
+                         && sweep[i].cf == sweep_event[i].cf
+                         && sweep[i].latency == sweep_event[i].latency;
+    }
+    audit.check("event-driven kernel batches bit-identical to "
+                "per-cycle",
+                engines_agree);
+    VectorUnitConfig matched_event = matched;
+    matched_event.engine = EngineKind::EventDriven;
+    const MixResult r_matched_event = runMix(matched_event);
+    audit.check("end-to-end mix cycles identical on the "
+                "event-driven engine",
+                r_matched_event.cycles == r_matched.cycles
+                    && r_matched_event.cf_accesses
+                           == r_matched.cf_accesses);
 
     // The batched path must agree with the end-to-end run.
     audit.check("sweep: matched batch fully conflict free",

@@ -32,6 +32,8 @@
 #include "mapping/xor_sectioned.h"
 
 // Memory-system simulators.
+#include "memsys/event_driven.h"
+#include "memsys/event_queue.h"
 #include "memsys/memory_system.h"
 #include "memsys/multi_port.h"
 

@@ -3,8 +3,12 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "mapping/dynamic.h"
+#include "mapping/gf2_linear.h"
+#include "mapping/prand.h"
 #include "mapping/xor_matched.h"
 #include "mapping/xor_sectioned.h"
+#include "memsys/event_driven.h"
 
 namespace cfva {
 
@@ -30,11 +34,11 @@ VectorAccessUnit::VectorAccessUnit(const VectorUnitConfig &cfg)
     cfg_.validate();
 
     const unsigned t = cfg_.t;
-    const unsigned s = cfg_.s();
     const unsigned lambda = cfg_.lambda;
 
     switch (cfg_.kind) {
       case MemoryKind::Matched: {
+        const unsigned s = cfg_.s();
         auto map = std::make_unique<XorMatchedMapping>(t, s);
         matched_ = map.get();
         mapping_ = std::move(map);
@@ -42,6 +46,7 @@ VectorAccessUnit::VectorAccessUnit(const VectorUnitConfig &cfg)
         break;
       }
       case MemoryKind::SimpleUnmatched: {
+        const unsigned s = cfg_.s();
         const unsigned m = cfg_.m();
         cfva_assert(s >= m,
                     "Eq. 1 with t replaced by m needs s >= m (s=",
@@ -53,6 +58,7 @@ VectorAccessUnit::VectorAccessUnit(const VectorUnitConfig &cfg)
         break;
       }
       case MemoryKind::Sectioned: {
+        const unsigned s = cfg_.s();
         const unsigned y = cfg_.y();
         auto map = std::make_unique<XorSectionedMapping>(t, s, y);
         sectioned_ = map.get();
@@ -67,6 +73,23 @@ VectorAccessUnit::VectorAccessUnit(const VectorUnitConfig &cfg)
                       "the hull but the gap is not conflict free");
             window_ = {wins.low.lo, wins.high.hi};
         }
+        break;
+      }
+      case MemoryKind::DynamicTuned: {
+        // Prior art [11]: in-order access is conflict free exactly
+        // for the tuned family p; there is no out-of-order window.
+        const unsigned p = cfg_.dynamicTune;
+        mapping_ = std::make_unique<DynamicFieldMapping>(cfg_.m(), p);
+        window_ = {static_cast<int>(p), static_cast<int>(p)};
+        break;
+      }
+      case MemoryKind::PseudoRandom: {
+        // Prior art [12]: no family is guaranteed minimum latency;
+        // the window is empty and every access issues in order.
+        // 48 address bits comfortably cover every sweep grid.
+        mapping_ = std::make_unique<GF2LinearMapping>(
+            makePseudoRandomMapping(cfg_.m(), 48, cfg_.prandSeed));
+        window_ = {};
         break;
       }
     }
@@ -87,18 +110,21 @@ VectorAccessUnit::inWindow(const Stride &s) const
 std::optional<unsigned>
 VectorAccessUnit::windowW(unsigned x) const
 {
-    const unsigned s = cfg_.s();
     switch (cfg_.kind) {
       case MemoryKind::Matched:
       case MemoryKind::SimpleUnmatched:
-        if (x <= s)
-            return s;
+        if (x <= cfg_.s())
+            return cfg_.s();
         return std::nullopt;
       case MemoryKind::Sectioned:
-        if (x <= s)
-            return s;
+        if (x <= cfg_.s())
+            return cfg_.s();
         if (x <= cfg_.y())
             return cfg_.y();
+        return std::nullopt;
+      case MemoryKind::DynamicTuned:
+      case MemoryKind::PseudoRandom:
+        // No subsequence theorems apply to the prior-art mappings.
         return std::nullopt;
     }
     return std::nullopt;
@@ -107,20 +133,28 @@ VectorAccessUnit::windowW(unsigned x) const
 bool
 VectorAccessUnit::inOrderConflictFree(unsigned x) const
 {
-    const unsigned s = cfg_.s();
     switch (cfg_.kind) {
       case MemoryKind::Matched:
         // Eq. 1 in order: exactly the x = s family ([6]).
-        return x == s;
+        return x == cfg_.s();
       case MemoryKind::SimpleUnmatched:
         // Eq. 1 with t -> m in order: s <= x <= s+m-t ([6]).
-        return x >= s && x <= s + cfg_.m() - cfg_.t;
+        return x >= cfg_.s()
+               && x <= cfg_.s() + cfg_.m() - cfg_.t;
       case MemoryKind::Sectioned:
         // x = s: consecutive elements step the Eq. 1 core field by
         // sigma, so any T consecutive requests differ in the low t
         // module bits.  x = y: ditto for the section field.  These
         // are the paper's two any-length families (Sec. 5H).
         return x == cfg_.s() || x == cfg_.y();
+      case MemoryKind::DynamicTuned:
+        // The tuned family steps the module field by the odd sigma,
+        // cycling all 2^m >= T modules: conflict free in order for
+        // any length and start ([11]).
+        return x == cfg_.dynamicTune;
+      case MemoryKind::PseudoRandom:
+        // By design nothing is guaranteed ([12]).
+        return false;
     }
     return false;
 }
@@ -151,6 +185,11 @@ VectorAccessUnit::reorderKey(unsigned x) const
         return [map = sectioned_](Addr a) {
             return map->sectionOf(a);
         };
+      case MemoryKind::DynamicTuned:
+      case MemoryKind::PseudoRandom:
+        // windowW() is nullopt for these kinds, so the planner
+        // never asks them for a reorder key.
+        break;
     }
     cfva_panic("unreachable memory kind");
 }
@@ -320,6 +359,9 @@ VectorAccessUnit::plan(Addr a1, std::int64_t stride,
 AccessResult
 VectorAccessUnit::execute(const AccessPlan &plan) const
 {
+    if (cfg_.engine == EngineKind::EventDriven)
+        return simulateAccessEventDriven(cfg_.memConfig(), *mapping_,
+                                         plan.stream);
     return simulateAccess(cfg_.memConfig(), *mapping_, plan.stream);
 }
 

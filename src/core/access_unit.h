@@ -93,7 +93,11 @@ class VectorAccessUnit
     AccessPlan plan(Addr a1, std::int64_t stride,
                     std::uint64_t length) const;
 
-    /** Runs a plan through the cycle-accurate memory simulator. */
+    /**
+     * Runs a plan through the memory simulator selected by
+     * config().engine — the per-cycle reference or the event-driven
+     * engine; both produce identical results.
+     */
     AccessResult execute(const AccessPlan &plan) const;
 
     /** plan() + execute() in one call. */

@@ -16,6 +16,22 @@ to_string(MemoryKind kind)
         return "simple-unmatched";
       case MemoryKind::Sectioned:
         return "sectioned";
+      case MemoryKind::DynamicTuned:
+        return "dynamic";
+      case MemoryKind::PseudoRandom:
+        return "prand";
+    }
+    return "?";
+}
+
+const char *
+to_string(EngineKind engine)
+{
+    switch (engine) {
+      case EngineKind::PerCycle:
+        return "per-cycle";
+      case EngineKind::EventDriven:
+        return "event-driven";
     }
     return "?";
 }
@@ -27,6 +43,8 @@ VectorUnitConfig::m() const
         return *mOverride;
     switch (kind) {
       case MemoryKind::Matched:
+      case MemoryKind::DynamicTuned:
+      case MemoryKind::PseudoRandom:
         return t;
       case MemoryKind::Sectioned:
         return 2 * t;
@@ -89,31 +107,47 @@ VectorUnitConfig::validate() const
         cfva_fatal("the paper requires lambda >= m (lambda=", lambda,
                    ", m=", mm, ")");
 
-    const unsigned ss = s();
-    if (ss < t)
-        cfva_fatal("Eq. 1/2 require s >= t (s=", ss, ", t=", t, ")");
-    if (ss > lambda - t)
-        cfva_warn("s=", ss, " > lambda-t=", lambda - t,
-                  ": family x=0 (odd strides) falls outside the "
-                  "conflict-free window");
+    // The s/y transform parameters only exist for the paper's XOR
+    // organizations; the prior-art kinds have their own knobs.
+    auto checkS = [&]() {
+        const unsigned ss = s();
+        if (ss < t)
+            cfva_fatal("Eq. 1/2 require s >= t (s=", ss, ", t=", t,
+                       ")");
+        if (ss > lambda - t)
+            cfva_warn("s=", ss, " > lambda-t=", lambda - t,
+                      ": family x=0 (odd strides) falls outside the "
+                      "conflict-free window");
+        return ss;
+    };
 
     switch (kind) {
       case MemoryKind::Matched:
         if (mm != t)
             cfva_fatal("matched memory requires m == t, got m=", mm);
+        checkS();
         break;
       case MemoryKind::SimpleUnmatched:
+        checkS();
         break;
       case MemoryKind::Sectioned: {
         if (mm != 2 * t)
             cfva_fatal("sectioned memory (Sec. 4.1) is defined for "
                        "m = 2t, got m=", mm);
+        const unsigned ss = checkS();
         const unsigned yy = y();
         if (yy < ss + t)
             cfva_fatal("Eq. 2 requires y >= s+t (y=", yy, ", s=", ss,
                        ", t=", t, ")");
         break;
       }
+      case MemoryKind::DynamicTuned:
+        if (dynamicTune + mm > 63)
+            cfva_fatal("dynamic field position p=", dynamicTune,
+                       " pushes the module field past bit 63");
+        break;
+      case MemoryKind::PseudoRandom:
+        break;
     }
 }
 
@@ -122,9 +156,22 @@ VectorUnitConfig::describe() const
 {
     std::ostringstream os;
     os << to_string(kind) << " M=" << (1u << m()) << " T="
-       << (1u << t) << " L=" << registerLength() << " s=" << s();
-    if (kind == MemoryKind::Sectioned)
-        os << " y=" << y();
+       << (1u << t) << " L=" << registerLength();
+    switch (kind) {
+      case MemoryKind::Matched:
+      case MemoryKind::SimpleUnmatched:
+        os << " s=" << s();
+        break;
+      case MemoryKind::Sectioned:
+        os << " s=" << s() << " y=" << y();
+        break;
+      case MemoryKind::DynamicTuned:
+        os << " p=" << dynamicTune;
+        break;
+      case MemoryKind::PseudoRandom:
+        os << " seed=" << prandSeed;
+        break;
+    }
     os << " q=" << inputBuffers << " q'=" << outputBuffers;
     return os.str();
 }

@@ -21,7 +21,7 @@
 
 namespace cfva {
 
-/** Which of the paper's three memory organizations to build. */
+/** Which memory organization to build. */
 enum class MemoryKind
 {
     /** Sec. 3: M = T modules, Eq. 1 mapping. */
@@ -36,9 +36,41 @@ enum class MemoryKind
 
     /** Sec. 4.1: M = T^2 modules, Eq. 2 sectioned mapping. */
     Sectioned,
+
+    /**
+     * Prior art [11] (Harper & Linebarger): field interleaving
+     * tuned so one stride family is conflict free in order.  The
+     * tuning is fixed per unit (dynamicTune); every other family
+     * takes whatever latency the simulator measures — the workload
+     * the paper's static windows are argued against.
+     */
+    DynamicTuned,
+
+    /**
+     * Prior art [12] (Rau): pseudo-random GF(2) interleaving.  No
+     * family is guaranteed minimum latency and none is
+     * pathologically serialized; all accesses issue in order.
+     */
+    PseudoRandom,
 };
 
 const char *to_string(MemoryKind kind);
+
+/** Which memory-system simulation engine executes an access. */
+enum class EngineKind
+{
+    /** The cycle-accurate reference: every cycle is stepped. */
+    PerCycle,
+
+    /**
+     * Event-driven scheduling (memsys/event_driven.h): time jumps
+     * to the next state-changing instant.  Bit-identical results,
+     * measurably faster — the per-cycle model remains the oracle.
+     */
+    EventDriven,
+};
+
+const char *to_string(EngineKind engine);
 
 /** Validated parameters of a vector access unit. */
 struct VectorUnitConfig
@@ -63,6 +95,18 @@ struct VectorUnitConfig
     unsigned inputBuffers = 2;  //!< q (the Sec. 3.1 bound needs 2)
     unsigned outputBuffers = 1; //!< q'
 
+    /**
+     * DynamicTuned only: the field position p — the stride family
+     * the interleave is tuned for.
+     */
+    unsigned dynamicTune = 0;
+
+    /** PseudoRandom only: seed of the GF(2) matrix. */
+    std::uint64_t prandSeed = 0x52A5ull;
+
+    /** Which simulation engine access() / execute() run on. */
+    EngineKind engine = EngineKind::PerCycle;
+
     unsigned m() const;
     unsigned s() const;
     unsigned y() const;
@@ -84,7 +128,12 @@ struct VectorUnitConfig
      */
     void validate() const;
 
-    /** One-line summary for logs and bench headers. */
+    /**
+     * One-line summary for logs and bench headers.  Deliberately
+     * excludes the engine: both engines produce identical results,
+     * and sweep reports keyed by this label must compare equal
+     * across engines (the cfva_sweep cross-check relies on it).
+     */
     std::string describe() const;
 };
 

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Event containers for the event-driven memory-system engine.
+ *
+ * Two structures cover every event class the engine needs:
+ *
+ * - ModuleEventHeap: an indexed binary min-heap of per-module
+ *   timestamped events, at most one live event per module, ordered
+ *   by (cycle, module id).  Used for module-ready (service
+ *   completion) events and for the return-bus arbitration over
+ *   output-buffer heads, whose tie-break — oldest ready first,
+ *   lowest module number on ties — is exactly the heap order.
+ * - ArrivalQueue: a FIFO of request-bus arrival events.  The
+ *   processor issues at most one request per cycle, so arrivals are
+ *   produced in nondecreasing cycle order and a plain queue gives
+ *   O(1) push/pop without any ordering work.
+ */
+
+#ifndef CFVA_MEMSYS_EVENT_QUEUE_H
+#define CFVA_MEMSYS_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace cfva {
+
+/** One timestamped per-module event. */
+struct ModuleEvent
+{
+    Cycle time = 0;
+    ModuleId module = 0;
+};
+
+/**
+ * Indexed binary min-heap of ModuleEvents keyed by (time, module).
+ *
+ * The index (module id -> heap slot) makes membership a O(1) lookup
+ * and guarantees the single-event-per-module invariant cheaply,
+ * which is what keeps the engine's bookkeeping honest: a module is
+ * either awaiting retirement (one heap entry) or blocked on a full
+ * output buffer (a flag), never both.
+ */
+class ModuleEventHeap
+{
+  public:
+    /** Builds an empty heap able to hold @p modules module ids. */
+    explicit ModuleEventHeap(ModuleId modules);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** True iff @p module has a live event. */
+    bool
+    contains(ModuleId module) const
+    {
+        return pos_[module] != kAbsent;
+    }
+
+    /** The earliest event; heap must be nonempty. */
+    const ModuleEvent &top() const;
+
+    /** Removes and returns the earliest event. */
+    ModuleEvent pop();
+
+    /**
+     * Adds an event for @p module at @p time.  The module must not
+     * already have a live event.
+     */
+    void push(ModuleId module, Cycle time);
+
+    /** Drops every event. */
+    void clear();
+
+  private:
+    static constexpr std::uint32_t kAbsent = ~std::uint32_t{0};
+
+    bool
+    before(const ModuleEvent &a, const ModuleEvent &b) const
+    {
+        return a.time != b.time ? a.time < b.time
+                                : a.module < b.module;
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    void place(std::size_t i, const ModuleEvent &e);
+
+    std::vector<ModuleEvent> heap_;
+    std::vector<std::uint32_t> pos_; //!< module id -> heap slot
+};
+
+/**
+ * FIFO of arrival events, pushed in nondecreasing cycle order (the
+ * request bus carries one request per cycle).
+ */
+class ArrivalQueue
+{
+  public:
+    bool empty() const { return events_.empty(); }
+
+    /** Earliest pending arrival; queue must be nonempty. */
+    const ModuleEvent &front() const { return events_.front(); }
+
+    /** Appends an arrival; @p time must be >= the last push's. */
+    void push(ModuleId module, Cycle time);
+
+    /** Removes the earliest arrival. */
+    void pop() { events_.pop_front(); }
+
+    void clear() { events_.clear(); }
+
+  private:
+    std::deque<ModuleEvent> events_;
+};
+
+} // namespace cfva
+
+#endif // CFVA_MEMSYS_EVENT_QUEUE_H

@@ -69,6 +69,9 @@ class MemoryModule
     /** True iff no element is buffered, in service, or undelivered. */
     bool drained() const;
 
+    /** True iff an element is currently being serviced. */
+    bool busy() const { return inService_.has_value(); }
+
     ModuleId id() const { return id_; }
     Cycle serviceCycles() const { return serviceCycles_; }
 

@@ -48,6 +48,8 @@ struct Delivery
     Cycle serviceStart = 0;  //!< module began the T-cycle access
     Cycle ready = 0;         //!< left the module (serviceStart + T)
     Cycle delivered = 0;     //!< crossed the return bus
+
+    bool operator==(const Delivery &o) const = default;
 };
 
 /** Aggregate outcome of one vector access. */
@@ -79,6 +81,13 @@ struct AccessResult
      * the execute unit may consume.
      */
     std::vector<std::uint64_t> deliveryOrder() const;
+
+    /**
+     * Full bitwise equality, including every per-element timing
+     * record — the contract the event-driven engine is held to
+     * against the per-cycle reference.
+     */
+    bool operator==(const AccessResult &o) const = default;
 };
 
 } // namespace cfva

@@ -213,14 +213,17 @@ struct WorkerArena
     std::vector<ScenarioOutcome> outcomes;
 
     const VectorAccessUnit &
-    unitFor(const ScenarioGrid &grid, std::size_t mappingIndex)
+    unitFor(const ScenarioGrid &grid, std::size_t mappingIndex,
+            const std::optional<EngineKind> &engine)
     {
         if (units.empty())
             units.resize(grid.mappings.size());
         auto &slot = units[mappingIndex];
         if (!slot) {
-            slot = std::make_unique<VectorAccessUnit>(
-                grid.mappings[mappingIndex]);
+            VectorUnitConfig cfg = grid.mappings[mappingIndex];
+            if (engine)
+                cfg.engine = *engine;
+            slot = std::make_unique<VectorAccessUnit>(cfg);
         }
         return *slot;
     }
@@ -294,7 +297,9 @@ SweepEngine::run(const ScenarioGrid &grid) const
             for (std::size_t i = chunk.first; i < chunk.last; ++i) {
                 const Scenario &sc = jobs[i];
                 mine.outcomes.push_back(runScenario(
-                    grid, sc, mine.unitFor(grid, sc.mappingIndex)));
+                    grid, sc,
+                    mine.unitFor(grid, sc.mappingIndex,
+                                 opts_.engine)));
             }
         }
     };

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -123,6 +124,16 @@ struct SweepOptions
 
     /** Scenarios per work item (stealing granularity). */
     std::size_t grain = 8;
+
+    /**
+     * When set, overrides the simulation engine of every mapping
+     * configuration in the grid — the sweep's engine axis.  Both
+     * engines produce bit-identical reports (the cfva_sweep
+     * cross-check mode runs the same grid under each and compares).
+     * Scenarios with ports > 1 always use the per-cycle multi-port
+     * simulator regardless of this knob.
+     */
+    std::optional<EngineKind> engine;
 };
 
 /**

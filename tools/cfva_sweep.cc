@@ -33,8 +33,11 @@ usage(std::ostream &os)
     os << "usage: cfva_sweep [options]\n"
           "\n"
           "Grid axes (comma-separated lists cross-multiply):\n"
-          "  --kinds K1,K2      matched | sectioned | simple\n"
-          "                     (default matched,sectioned)\n"
+          "  --kinds K1,K2      matched | sectioned | simple |\n"
+          "                     dynamic | prand (default\n"
+          "                     matched,sectioned)\n"
+          "  --tunes LIST       field positions p for kind=dynamic\n"
+          "                     (default 0)\n"
           "  --t LIST           log2 service time T (default 2,3)\n"
           "  --lambda LIST      log2 register length (default 7)\n"
           "  --m LIST           log2 module count for kind=simple\n"
@@ -52,12 +55,18 @@ usage(std::ostream &os)
           "  --seed S           seed for random starts\n"
           "\n"
           "Execution and output:\n"
+          "  --engine E         percycle | event | both (default\n"
+          "                     percycle); 'both' runs the grid on\n"
+          "                     each engine, cross-checks the\n"
+          "                     reports bit for bit, and exits\n"
+          "                     non-zero on any mismatch\n"
           "  --threads N        worker threads (0 = all cores)\n"
           "  --grain N          jobs per work item (default 8)\n"
           "  --csv FILE         per-scenario CSV ('-' = stdout)\n"
           "  --json FILE        per-scenario JSON ('-' = stdout)\n"
           "  --no-summary       skip the summary table\n"
           "  --bench T1,T2,...  time the grid at each thread count\n"
+          "                     (x each engine with --engine both)\n"
           "  --help\n";
 }
 
@@ -141,8 +150,25 @@ parseKind(const std::string &name)
         return MemoryKind::Sectioned;
     if (name == "simple")
         return MemoryKind::SimpleUnmatched;
+    if (name == "dynamic")
+        return MemoryKind::DynamicTuned;
+    if (name == "prand")
+        return MemoryKind::PseudoRandom;
     cfva_fatal("unknown memory kind: ", name,
-               " (expected matched|sectioned|simple)");
+               " (expected matched|sectioned|simple|dynamic|prand)");
+}
+
+std::vector<EngineKind>
+parseEngines(const std::string &name)
+{
+    if (name == "percycle")
+        return {EngineKind::PerCycle};
+    if (name == "event")
+        return {EngineKind::EventDriven};
+    if (name == "both")
+        return {EngineKind::PerCycle, EngineKind::EventDriven};
+    cfva_fatal("unknown engine: ", name,
+               " (expected percycle|event|both)");
 }
 
 std::ostream *
@@ -162,6 +188,7 @@ struct Options
     std::vector<std::uint64_t> ts = {2, 3};
     std::vector<std::uint64_t> lambdas = {7};
     std::vector<std::uint64_t> ms; // only for kind=simple
+    std::vector<std::uint64_t> tunes = {0}; // only for kind=dynamic
     std::pair<unsigned, unsigned> families = {0, 7};
     std::vector<std::uint64_t> sigmas = {1, 3, 5, 7, 9, 11, 13, 15};
     std::vector<std::uint64_t> strides; // explicit override
@@ -173,6 +200,7 @@ struct Options
 
     unsigned threads = 0;
     std::size_t grain = 8;
+    std::vector<EngineKind> engines = {EngineKind::PerCycle};
     std::string csvPath;
     std::string jsonPath;
     bool summary = true;
@@ -201,6 +229,8 @@ parseArgs(int argc, char **argv)
             o.lambdas = parseU64List(need(i, "--lambda"), "--lambda");
         } else if (a == "--m") {
             o.ms = parseU64List(need(i, "--m"), "--m");
+        } else if (a == "--tunes") {
+            o.tunes = parseU64List(need(i, "--tunes"), "--tunes");
         } else if (a == "--families") {
             o.families =
                 parseRange(need(i, "--families"), "--families");
@@ -221,6 +251,8 @@ parseArgs(int argc, char **argv)
             o.ports = parseU64List(need(i, "--ports"), "--ports");
         } else if (a == "--seed") {
             o.seed = parseU64(need(i, "--seed"), "--seed");
+        } else if (a == "--engine") {
+            o.engines = parseEngines(need(i, "--engine"));
         } else if (a == "--threads") {
             o.threads = parseU32(need(i, "--threads"),
                                  "--threads");
@@ -251,31 +283,35 @@ buildGrid(const Options &o)
     sim::ScenarioGrid grid;
     for (const auto &kindName : o.kinds) {
         const MemoryKind kind = parseKind(kindName);
+        const bool usesS = kind == MemoryKind::Matched
+                           || kind == MemoryKind::SimpleUnmatched
+                           || kind == MemoryKind::Sectioned;
         for (std::uint64_t t : o.ts) {
             for (std::uint64_t lambda : o.lambdas) {
-                if (lambda < 2 * t) {
+                if (usesS && lambda < 2 * t) {
                     // s = lambda-t >= t (Sec. 3.3) is unsatisfiable.
                     cfva_warn("skipping ", kindName, " t=", t,
                               " lambda=", lambda,
                               " (needs lambda >= 2t)");
                     continue;
                 }
+                VectorUnitConfig cfg;
+                cfg.kind = kind;
+                cfg.t = static_cast<unsigned>(t);
+                cfg.lambda = static_cast<unsigned>(lambda);
                 if (kind == MemoryKind::SimpleUnmatched) {
                     if (o.ms.empty())
                         cfva_fatal("kind=simple needs --m");
                     for (std::uint64_t m : o.ms) {
-                        VectorUnitConfig cfg;
-                        cfg.kind = kind;
-                        cfg.t = static_cast<unsigned>(t);
-                        cfg.lambda = static_cast<unsigned>(lambda);
                         cfg.mOverride = static_cast<unsigned>(m);
                         grid.mappings.push_back(cfg);
                     }
+                } else if (kind == MemoryKind::DynamicTuned) {
+                    for (std::uint64_t p : o.tunes) {
+                        cfg.dynamicTune = static_cast<unsigned>(p);
+                        grid.mappings.push_back(cfg);
+                    }
                 } else {
-                    VectorUnitConfig cfg;
-                    cfg.kind = kind;
-                    cfg.t = static_cast<unsigned>(t);
-                    cfg.lambda = static_cast<unsigned>(lambda);
                     grid.mappings.push_back(cfg);
                 }
             }
@@ -348,8 +384,14 @@ main(int argc, char **argv)
               << " starts x " << grid.ports.size() << " ports = "
               << grid.jobCount() << " scenarios\n";
 
+    std::string engineNames = to_string(o.engines.front());
+    for (std::size_t e = 1; e < o.engines.size(); ++e)
+        engineNames += std::string(" + ") + to_string(o.engines[e]);
+    info << "engine: " << engineNames << "\n";
+
     if (!o.benchThreads.empty()) {
-        TextTable t({"threads", "seconds", "scenarios/s", "speedup"});
+        TextTable t({"engine", "threads", "seconds", "scenarios/s",
+                     "speedup"});
         double base = 0.0;
         sim::SweepReport first;
         bool allIdentical = true;
@@ -360,30 +402,40 @@ main(int argc, char **argv)
             warm.threads =
                 static_cast<unsigned>(o.benchThreads.front());
             warm.grain = o.grain;
+            warm.engine = o.engines.front();
             sim::SweepReport scratch;
             timedRun(sim::SweepEngine(warm), grid, scratch);
         }
-        for (std::size_t i = 0; i < o.benchThreads.size(); ++i) {
-            sim::SweepOptions opts;
-            opts.threads = static_cast<unsigned>(o.benchThreads[i]);
-            opts.grain = o.grain;
-            sim::SweepReport report;
-            const double secs =
-                timedRun(sim::SweepEngine(opts), grid, report);
-            if (i == 0) {
-                base = secs;
-                first = report;
-            } else {
-                allIdentical &= report == first;
+        bool haveBase = false;
+        for (EngineKind engine : o.engines) {
+            for (std::uint64_t threads : o.benchThreads) {
+                sim::SweepOptions opts;
+                opts.threads = static_cast<unsigned>(threads);
+                opts.grain = o.grain;
+                opts.engine = engine;
+                sim::SweepReport report;
+                const double secs =
+                    timedRun(sim::SweepEngine(opts), grid, report);
+                if (!haveBase) {
+                    base = secs;
+                    first = report;
+                    haveBase = true;
+                } else {
+                    allIdentical &= report == first;
+                }
+                t.row(to_string(engine), threads, fixed(secs, 3),
+                      fixed(static_cast<double>(report.jobs()) / secs,
+                            0),
+                      fixed(base / secs, 2));
             }
-            t.row(o.benchThreads[i], fixed(secs, 3),
-                  fixed(static_cast<double>(report.jobs()) / secs, 0),
-                  fixed(base / secs, 2));
         }
-        t.print(info, "SweepEngine scaling");
+        t.print(info, "SweepEngine scaling [engine: " + engineNames
+                          + "]");
         info << (allIdentical
-                          ? "reports identical across thread counts\n"
-                          : "REPORT MISMATCH across thread counts\n");
+                     ? "reports identical across thread counts "
+                       "and engines\n"
+                     : "REPORT MISMATCH across thread counts or "
+                       "engines\n");
         if (!o.csvPath.empty()) {
             std::ofstream file;
             first.writeCsv(*openSink(o.csvPath, file));
@@ -395,21 +447,47 @@ main(int argc, char **argv)
         return allIdentical ? 0 : 1;
     }
 
-    sim::SweepOptions opts;
-    opts.threads = o.threads;
-    opts.grain = o.grain;
+    // One timed run per requested engine; with --engine both the
+    // second report is cross-checked bit for bit against the first.
     sim::SweepReport report;
-    const double secs =
-        timedRun(sim::SweepEngine(opts), grid, report);
+    bool crossChecked = false;
+    bool crossIdentical = true;
+    double firstSecs = 0.0;
+    for (std::size_t e = 0; e < o.engines.size(); ++e) {
+        sim::SweepOptions opts;
+        opts.threads = o.threads;
+        opts.grain = o.grain;
+        opts.engine = o.engines[e];
+        sim::SweepReport r;
+        const double secs = timedRun(sim::SweepEngine(opts), grid, r);
+        if (o.summary) {
+            info << to_string(o.engines[e]) << ": " << r.jobs()
+                 << " scenarios in " << fixed(secs, 3) << " s ("
+                 << fixed(static_cast<double>(r.jobs()) / secs, 0)
+                 << " scenarios/s)";
+            if (e > 0 && secs > 0.0)
+                info << ", " << fixed(firstSecs / secs, 2)
+                     << "x vs " << to_string(o.engines.front());
+            info << "\n";
+        }
+        if (e == 0) {
+            report = std::move(r);
+            firstSecs = secs;
+        } else {
+            crossChecked = true;
+            crossIdentical &= r == report;
+        }
+    }
 
     if (o.summary) {
         report.summaryTable().print(info, "Sweep summary");
-        info << report.jobs() << " scenarios in "
-                  << fixed(secs, 3) << " s ("
-                  << fixed(static_cast<double>(report.jobs()) / secs,
-                           0)
-                  << " scenarios/s), " << report.conflictFreeJobs()
-                  << " conflict free\n";
+        info << report.conflictFreeJobs() << " of " << report.jobs()
+             << " scenarios conflict free\n";
+    }
+    if (crossChecked) {
+        info << (crossIdentical
+                     ? "cross-engine reports identical\n"
+                     : "CROSS-ENGINE REPORT MISMATCH\n");
     }
     if (!o.csvPath.empty()) {
         std::ofstream file;
@@ -419,5 +497,5 @@ main(int argc, char **argv)
         std::ofstream file;
         report.writeJson(*openSink(o.jsonPath, file));
     }
-    return 0;
+    return crossIdentical ? 0 : 1;
 }
