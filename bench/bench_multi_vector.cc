@@ -8,6 +8,13 @@
  * (M = T^2) systems.  Quantifies the Sec. 5E remark that the extra
  * modules of an unmatched memory "can be justified by other
  * reasons, such as simultaneous access to several vectors".
+ *
+ * Runs on the batching path: the (system x ports) sweep is a
+ * ScenarioGrid with port and port-mix axes executed by the
+ * SweepEngine under BOTH engines — the per-cycle multi-port oracle
+ * and the event-driven backend — and the reports are cross-checked
+ * bit for bit.  Per-port worst latencies for the audit come from
+ * the same unified backend via VectorAccessUnit::executePorts.
  */
 
 #include <iostream>
@@ -15,7 +22,8 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/access_unit.h"
-#include "memsys/multi_port.h"
+#include "sim/scenario.h"
+#include "sim/sweep_engine.h"
 #include "theory/theory.h"
 
 using namespace cfva;
@@ -23,23 +31,45 @@ using namespace cfva;
 namespace {
 
 /**
- * Runs p in-window streams and reports latency.  Each vector lives
- * in its own 2^y = 512-address block: on the sectioned mapping the
- * blocks map to different sections, which is how a real allocator
- * would spread simultaneously-live vectors.
+ * The E15 grid: both paper systems, base stride 1 with the {1, 3}
+ * mix (ports alternate strides 1, 3, 1, 3 — distinct simultaneously
+ * live vectors), each vector in its own 2^y = 512-address block: on
+ * the sectioned mapping the blocks map to different sections, which
+ * is how a real allocator would spread simultaneously-live vectors.
  */
+sim::ScenarioGrid
+e15Grid()
+{
+    sim::ScenarioGrid grid;
+    grid.mappings = {paperMatchedExample(), paperSectionedExample()};
+    grid.strides = {1};
+    grid.portMixes = {sim::PortMix{{1, 3}}};
+    grid.ports = {1, 2, 4};
+    grid.randomStarts = 0;
+    grid.portStagger = Addr{1} << 9;
+    return grid;
+}
+
+/** Per-port detail through the unified backend for one port count. */
 MultiPortResult
 runPorts(const VectorAccessUnit &unit, unsigned n_ports)
 {
     std::vector<std::vector<Request>> streams;
-    const std::uint64_t strides[4] = {1, 3, 1, 3};
+    const std::int64_t strides[2] = {1, 3};
     for (unsigned p = 0; p < n_ports; ++p) {
-        const auto plan = unit.plan(
-            Addr{p} << 9, Stride(strides[p % 4]), 128);
-        streams.push_back(plan.stream);
+        streams.push_back(
+            unit.plan(Addr{p} << 9, strides[p % 2], 128).stream);
     }
-    return simulateMultiPort(unit.memConfig(), unit.mapping(),
-                             streams);
+    return unit.executePorts(streams);
+}
+
+Cycle
+worstLatency(const MultiPortResult &r)
+{
+    Cycle worst = 0;
+    for (const auto &port : r.ports)
+        worst = std::max(worst, port.latency);
+    return worst;
 }
 
 } // namespace
@@ -50,35 +80,34 @@ main()
     bench::Audit audit("E15 / conclusions' future work: several "
                        "vectors at once");
 
-    const VectorAccessUnit matched(paperMatchedExample());
-    const VectorAccessUnit sectioned(paperSectionedExample());
-    const Cycle minimum = theory::minimumLatency(128, 8);
+    const sim::ScenarioGrid grid = e15Grid();
+    sim::SweepOptions per_cycle;
+    per_cycle.engine = EngineKind::PerCycle;
+    sim::SweepOptions event;
+    event.engine = EngineKind::EventDriven;
+    const sim::SweepReport oracle =
+        sim::SweepEngine(per_cycle).run(grid);
+    const sim::SweepReport fast = sim::SweepEngine(event).run(grid);
 
-    TextTable table({"system", "ports", "worst port latency",
-                     "makespan", "all min-latency"});
-    Cycle matched2_worst = 0, sectioned2_worst = 0;
-    for (unsigned p : {1u, 2u, 4u}) {
-        const auto rm = runPorts(matched, p);
-        Cycle worst = 0;
-        for (const auto &port : rm.ports)
-            worst = std::max(worst, port.latency);
-        if (p == 2)
-            matched2_worst = worst;
-        table.row("matched M=8", p, worst, rm.makespan,
-                  rm.allConflictFree() ? "yes" : "no");
+    audit.check("event-driven sweep bit-identical to the per-cycle "
+                "oracle",
+                fast == oracle);
 
-        const auto rs = runPorts(sectioned, p);
-        worst = 0;
-        for (const auto &port : rs.ports)
-            worst = std::max(worst, port.latency);
-        if (p == 2)
-            sectioned2_worst = worst;
-        table.row("unmatched M=64", p, worst, rs.makespan,
-                  rs.allConflictFree() ? "yes" : "no");
+    TextTable table({"system", "ports", "makespan", "min makespan",
+                     "stalls", "all min-latency"});
+    for (const auto &o : oracle.outcomes) {
+        table.row(o.mappingIndex == 0 ? "matched M=8"
+                                      : "unmatched M=64",
+                  o.ports, o.latency, o.minLatency, o.stallCycles,
+                  o.conflictFree ? "yes" : "no");
     }
     table.print(std::cout,
                 "In-window vectors (L = 128, minimum 137) issued "
-                "simultaneously");
+                "simultaneously [sweep, both engines]");
+
+    const VectorAccessUnit matched(paperMatchedExample());
+    const VectorAccessUnit sectioned(paperSectionedExample());
+    const Cycle minimum = theory::minimumLatency(128, 8);
 
     // One port: both systems at the exact minimum.
     const auto one_m = runPorts(matched, 1);
@@ -89,6 +118,9 @@ main()
     // Two ports: a matched memory has aggregate bandwidth exactly
     // one element per cycle — two vectors fundamentally serialize —
     // while M = T^2 has headroom for 8.
+    const Cycle matched2_worst = worstLatency(runPorts(matched, 2));
+    const Cycle sectioned2_worst =
+        worstLatency(runPorts(sectioned, 2));
     audit.check("matched memory serializes two vectors "
                 "(worst >= 1.5x minimum)",
                 matched2_worst >= minimum * 3 / 2);
@@ -103,9 +135,6 @@ main()
 
     // Four ports on M = 64: still about half the serialized time.
     const auto four_s = runPorts(sectioned, 4);
-    Cycle worst4 = 0;
-    for (const auto &port : four_s.ports)
-        worst4 = std::max(worst4, port.latency);
     audit.check("four vectors on M=64 beat full serialization",
                 four_s.makespan < 4 * minimum);
     std::cout << "  four-port makespan on M=64: " << four_s.makespan

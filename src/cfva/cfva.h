@@ -32,7 +32,9 @@
 #include "mapping/xor_sectioned.h"
 
 // Memory-system simulators.
+#include "memsys/backend.h"
 #include "memsys/event_driven.h"
+#include "memsys/event_multi_port.h"
 #include "memsys/event_queue.h"
 #include "memsys/memory_system.h"
 #include "memsys/multi_port.h"

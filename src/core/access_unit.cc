@@ -8,7 +8,7 @@
 #include "mapping/prand.h"
 #include "mapping/xor_matched.h"
 #include "mapping/xor_sectioned.h"
-#include "memsys/event_driven.h"
+#include "memsys/backend.h"
 
 namespace cfva {
 
@@ -357,12 +357,20 @@ VectorAccessUnit::plan(Addr a1, std::int64_t stride,
 }
 
 AccessResult
-VectorAccessUnit::execute(const AccessPlan &plan) const
+VectorAccessUnit::execute(const AccessPlan &plan,
+                          DeliveryArena *arena) const
 {
-    if (cfg_.engine == EngineKind::EventDriven)
-        return simulateAccessEventDriven(cfg_.memConfig(), *mapping_,
-                                         plan.stream);
-    return simulateAccess(cfg_.memConfig(), *mapping_, plan.stream);
+    return makeMemoryBackend(cfg_.engine, cfg_.memConfig(), *mapping_)
+        ->runSingle(plan.stream, arena);
+}
+
+MultiPortResult
+VectorAccessUnit::executePorts(
+    const std::vector<std::vector<Request>> &streams,
+    DeliveryArena *arena) const
+{
+    return makeMemoryBackend(cfg_.engine, cfg_.memConfig(), *mapping_)
+        ->run(streams, arena);
 }
 
 AccessResult

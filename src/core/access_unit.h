@@ -94,11 +94,23 @@ class VectorAccessUnit
                     std::uint64_t length) const;
 
     /**
-     * Runs a plan through the memory simulator selected by
+     * Runs a plan through the memory backend selected by
      * config().engine — the per-cycle reference or the event-driven
-     * engine; both produce identical results.
+     * engine; both produce identical results.  When @p arena is
+     * given, the result's delivery buffer is recycled through it.
      */
-    AccessResult execute(const AccessPlan &plan) const;
+    AccessResult execute(const AccessPlan &plan,
+                         DeliveryArena *arena = nullptr) const;
+
+    /**
+     * Runs P = streams.size() simultaneous request streams through
+     * the port-aware backend selected by config().engine.  The
+     * engine knob is honored for every port count; the per-cycle
+     * and event-driven backends produce bit-identical results.
+     */
+    MultiPortResult
+    executePorts(const std::vector<std::vector<Request>> &streams,
+                 DeliveryArena *arena = nullptr) const;
 
     /** plan() + execute() in one call. */
     AccessResult access(Addr a1, const Stride &s,

@@ -24,18 +24,6 @@ to_string(MemoryKind kind)
     return "?";
 }
 
-const char *
-to_string(EngineKind engine)
-{
-    switch (engine) {
-      case EngineKind::PerCycle:
-        return "per-cycle";
-      case EngineKind::EventDriven:
-        return "event-driven";
-    }
-    return "?";
-}
-
 unsigned
 VectorUnitConfig::m() const
 {

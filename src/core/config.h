@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/bits.h"
+#include "memsys/backend.h"
 #include "memsys/memory_system.h"
 
 namespace cfva {
@@ -56,21 +57,8 @@ enum class MemoryKind
 
 const char *to_string(MemoryKind kind);
 
-/** Which memory-system simulation engine executes an access. */
-enum class EngineKind
-{
-    /** The cycle-accurate reference: every cycle is stepped. */
-    PerCycle,
-
-    /**
-     * Event-driven scheduling (memsys/event_driven.h): time jumps
-     * to the next state-changing instant.  Bit-identical results,
-     * measurably faster — the per-cycle model remains the oracle.
-     */
-    EventDriven,
-};
-
-const char *to_string(EngineKind engine);
+// EngineKind (per-cycle vs event-driven) lives with the backends it
+// selects: memsys/backend.h, included above.
 
 /** Validated parameters of a vector access unit. */
 struct VectorUnitConfig
@@ -104,7 +92,8 @@ struct VectorUnitConfig
     /** PseudoRandom only: seed of the GF(2) matrix. */
     std::uint64_t prandSeed = 0x52A5ull;
 
-    /** Which simulation engine access() / execute() run on. */
+    /** Which simulation engine access() / execute() /
+     *  executePorts() run on — honored for every port count. */
     EngineKind engine = EngineKind::PerCycle;
 
     unsigned m() const;

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The port-aware memory-backend interface.
+ *
+ * One abstraction covers every simulation path: a MemoryBackend maps
+ * (streams, config, mapping) to a MultiPortResult, where the
+ * single-port access every earlier layer was built around is simply
+ * the P = 1 case.  Two engines implement it:
+ *
+ * - PerCycleMultiPort (memsys/multi_port.h): the cycle-stepped
+ *   reference, bit-exact with the historical simulateMultiPort loop
+ *   and — at P = 1 — with MemorySystem::run.  It remains the oracle
+ *   the event-driven engines are differentially tested against.
+ * - EventDrivenMultiPort (memsys/event_multi_port.h): jumps straight
+ *   to the next state-changing cycle; per-port output heaps replace
+ *   the O(P*M) per-cycle return-bus head scan.
+ *
+ * EngineKind lives here (not in core/) so the dispatch is decided at
+ * the memsys layer and every consumer — VectorAccessUnit, the sweep
+ * engine, tools — honors the knob for all port counts.
+ */
+
+#ifndef CFVA_MEMSYS_BACKEND_H
+#define CFVA_MEMSYS_BACKEND_H
+
+#include <memory>
+#include <vector>
+
+#include "mapping/mapping.h"
+#include "memsys/memory_system.h"
+#include "memsys/request.h"
+
+namespace cfva {
+
+/** Which memory-system simulation engine executes an access. */
+enum class EngineKind
+{
+    /** The cycle-accurate reference: every cycle is stepped. */
+    PerCycle,
+
+    /**
+     * Event-driven scheduling: time jumps to the next
+     * state-changing instant.  Bit-identical results, measurably
+     * faster — the per-cycle model remains the oracle.
+     */
+    EventDriven,
+};
+
+const char *to_string(EngineKind engine);
+
+/**
+ * Freelist of Delivery buffers, recycled across accesses so tight
+ * sweeps stop paying one heap allocation (plus growth doublings)
+ * per simulated access.  Engines acquire() their result buffers
+ * from it when one is supplied; the caller release()s the buffers
+ * once the records have been consumed.  Not thread-safe: use one
+ * arena per worker thread (the sweep engine keeps one per worker).
+ */
+class DeliveryArena
+{
+  public:
+    /** An empty buffer with at least @p capacity reserved. */
+    std::vector<Delivery> acquire(std::size_t capacity);
+
+    /** Returns a buffer's capacity to the freelist. */
+    void release(std::vector<Delivery> &&buf);
+
+    /** Buffers currently pooled (for tests). */
+    std::size_t pooled() const { return pool_.size(); }
+
+  private:
+    std::vector<std::vector<Delivery>> pool_;
+};
+
+/** Outcome of a simultaneous multi-vector access. */
+struct MultiPortResult
+{
+    /** Per-port results (latency, stalls, deliveries). */
+    std::vector<AccessResult> ports;
+
+    /** Cycles from the first issue to the last delivery overall
+     *  (exclusive: the cycle after the last delivery); 0 when no
+     *  element was delivered. */
+    Cycle makespan = 0;
+
+    /** True iff every port ran at its own minimum latency. */
+    bool
+    allConflictFree() const
+    {
+        for (const auto &p : ports) {
+            if (!p.conflictFree)
+                return false;
+        }
+        return true;
+    }
+
+    bool operator==(const MultiPortResult &o) const = default;
+};
+
+/**
+ * A simulation engine for P simultaneous request streams sharing
+ * one set of memory modules.  Implementations are constructed per
+ * (config, mapping) pair via makeMemoryBackend and are stateless
+ * across run() calls.
+ */
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /**
+     * Simulates @p streams issued simultaneously, one request per
+     * port per cycle (P = streams.size() >= 1).  Issue priority is
+     * least-issued-port-first each cycle; each port has a private
+     * return bus delivering at most one of its elements per cycle.
+     *
+     * @param streams  one request stream per port (lengths may
+     *                 differ; an empty stream is a vacuously
+     *                 conflict-free port)
+     * @param arena    optional buffer recycler for the per-port
+     *                 delivery records
+     */
+    virtual MultiPortResult
+    run(const std::vector<std::vector<Request>> &streams,
+        DeliveryArena *arena = nullptr) = 0;
+
+    /**
+     * The P = 1 case without wrapping the stream: returns the
+     * port's AccessResult directly.  Bit-identical to the
+     * corresponding single-port engine (MemorySystem::run or
+     * EventDrivenMemorySystem::run).
+     */
+    virtual AccessResult
+    runSingle(const std::vector<Request> &stream,
+              DeliveryArena *arena = nullptr) = 0;
+
+    /** Engine name for logs and diagnostics. */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Builds the backend implementing @p engine over @p cfg and @p map.
+ * The mapping must outlive the returned backend.
+ */
+std::unique_ptr<MemoryBackend>
+makeMemoryBackend(EngineKind engine, const MemConfig &cfg,
+                  const ModuleMapping &map);
+
+namespace detail {
+
+/** Per-port issue bookkeeping shared by the multi-port backends. */
+struct PortState
+{
+    std::size_t next = 0; //!< next request index (= requests issued)
+    bool started = false;
+    Cycle firstIssue = 0;
+    std::uint64_t stalls = 0;
+    std::vector<Delivery> delivered;
+};
+
+/**
+ * Folds per-port issue state into the MultiPortResult both backends
+ * must agree on bit for bit: latency, conflict-free criterion, and
+ * makespan are computed in exactly one place.
+ */
+MultiPortResult
+assemblePortResults(const MemConfig &cfg,
+                    const std::vector<std::vector<Request>> &streams,
+                    std::vector<PortState> &&ports, Cycle lastDelivery);
+
+/**
+ * Wedge guard for P serialized streams of @p total requests; the
+ * same bound both backends assert against.
+ */
+Cycle wedgeLimit(const MemConfig &cfg, std::size_t total,
+                 unsigned n_ports);
+
+/** Lifts a single-port AccessResult into the P = 1 MultiPortResult
+ *  the generic loops would produce for the same stream. */
+MultiPortResult wrapSinglePort(AccessResult &&r);
+
+} // namespace detail
+
+} // namespace cfva
+
+#endif // CFVA_MEMSYS_BACKEND_H

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "memsys/backend.h"
 
 namespace cfva {
 
@@ -22,10 +23,14 @@ EventDrivenMemorySystem::EventDrivenMemorySystem(
 }
 
 AccessResult
-EventDrivenMemorySystem::run(const std::vector<Request> &stream)
+EventDrivenMemorySystem::run(const std::vector<Request> &stream,
+                             DeliveryArena *arena)
 {
     AccessResult result;
-    result.deliveries.reserve(stream.size());
+    if (arena)
+        result.deliveries = arena->acquire(stream.size());
+    else
+        result.deliveries.reserve(stream.size());
     if (stream.empty()) {
         result.conflictFree = true;
         return result;
@@ -184,10 +189,11 @@ EventDrivenMemorySystem::run(const std::vector<Request> &stream)
 AccessResult
 simulateAccessEventDriven(const MemConfig &cfg,
                           const ModuleMapping &map,
-                          const std::vector<Request> &stream)
+                          const std::vector<Request> &stream,
+                          DeliveryArena *arena)
 {
     EventDrivenMemorySystem sys(cfg, map);
-    return sys.run(stream);
+    return sys.run(stream, arena);
 }
 
 } // namespace cfva

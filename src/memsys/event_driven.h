@@ -37,6 +37,8 @@
 
 namespace cfva {
 
+class DeliveryArena;
+
 /**
  * Event-driven twin of MemorySystem.  Same construction contract,
  * same run() semantics, bit-identical results.
@@ -55,8 +57,13 @@ class EventDrivenMemorySystem
     /**
      * Simulates the access of @p stream issued one request per
      * cycle starting at cycle 0; see MemorySystem::run.
+     *
+     * When @p arena is given, the result's delivery buffer is
+     * acquired from it instead of freshly allocated — tight sweeps
+     * recycle buffers by releasing them back after consumption.
      */
-    AccessResult run(const std::vector<Request> &stream);
+    AccessResult run(const std::vector<Request> &stream,
+                     DeliveryArena *arena = nullptr);
 
     const MemConfig &config() const { return cfg_; }
 
@@ -89,7 +96,8 @@ class EventDrivenMemorySystem
  */
 AccessResult simulateAccessEventDriven(const MemConfig &cfg,
                                        const ModuleMapping &map,
-                                       const std::vector<Request> &stream);
+                                       const std::vector<Request> &stream,
+                                       DeliveryArena *arena = nullptr);
 
 } // namespace cfva
 

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "memsys/backend.h"
 
 namespace cfva {
 
@@ -43,10 +44,14 @@ MemorySystem::deliverOne(Cycle now, AccessResult &result)
 }
 
 AccessResult
-MemorySystem::run(const std::vector<Request> &stream)
+MemorySystem::run(const std::vector<Request> &stream,
+                  DeliveryArena *arena)
 {
     AccessResult result;
-    result.deliveries.reserve(stream.size());
+    if (arena)
+        result.deliveries = arena->acquire(stream.size());
+    else
+        result.deliveries.reserve(stream.size());
     if (stream.empty()) {
         result.conflictFree = true;
         return result;
@@ -120,10 +125,11 @@ MemorySystem::run(const std::vector<Request> &stream)
 
 AccessResult
 simulateAccess(const MemConfig &cfg, const ModuleMapping &map,
-               const std::vector<Request> &stream)
+               const std::vector<Request> &stream,
+               DeliveryArena *arena)
 {
     MemorySystem sys(cfg, map);
-    return sys.run(stream);
+    return sys.run(stream, arena);
 }
 
 std::vector<std::uint64_t>

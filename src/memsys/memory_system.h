@@ -21,6 +21,8 @@
 
 namespace cfva {
 
+class DeliveryArena;
+
 /** Static configuration of the memory subsystem. */
 struct MemConfig
 {
@@ -59,9 +61,13 @@ class MemorySystem
      * cycle starting at cycle 0.
      *
      * @param stream  requests in the desired temporal order
+     * @param arena   optional recycler the result's delivery
+     *                buffer is acquired from (timing-neutral; the
+     *                records are identical either way)
      * @return timing of every element plus aggregate metrics
      */
-    AccessResult run(const std::vector<Request> &stream);
+    AccessResult run(const std::vector<Request> &stream,
+                     DeliveryArena *arena = nullptr);
 
     const MemConfig &config() const { return cfg_; }
 
@@ -80,7 +86,8 @@ class MemorySystem
  */
 AccessResult simulateAccess(const MemConfig &cfg,
                             const ModuleMapping &map,
-                            const std::vector<Request> &stream);
+                            const std::vector<Request> &stream,
+                            DeliveryArena *arena = nullptr);
 
 } // namespace cfva
 

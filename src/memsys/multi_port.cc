@@ -7,47 +7,55 @@
 
 namespace cfva {
 
-namespace {
+using detail::PortState;
 
-/** Per-port issue state. */
-struct PortState
+PerCycleMultiPort::PerCycleMultiPort(const MemConfig &cfg,
+                                     const ModuleMapping &map)
+    : cfg_(cfg), map_(map)
 {
-    std::size_t next = 0;       //!< next request index
-    bool started = false;
-    Cycle firstIssue = 0;
-    std::uint64_t stalls = 0;
-    std::vector<Delivery> delivered;
-};
-
-} // namespace
-
-MultiPortResult
-simulateMultiPort(const MemConfig &cfg, const ModuleMapping &map,
-                  const std::vector<std::vector<Request>> &streams)
-{
-    cfva_assert(!streams.empty(), "need at least one port");
     cfva_assert(map.moduleBits() == cfg.m,
                 "mapping has 2^", map.moduleBits(),
                 " modules but config expects 2^", cfg.m);
+}
+
+AccessResult
+PerCycleMultiPort::runSingle(const std::vector<Request> &stream,
+                             DeliveryArena *arena)
+{
+    return simulateAccess(cfg_, map_, stream, arena);
+}
+
+MultiPortResult
+PerCycleMultiPort::run(const std::vector<std::vector<Request>> &streams,
+                       DeliveryArena *arena)
+{
+    cfva_assert(!streams.empty(), "need at least one port");
+    if (streams.size() == 1)
+        return detail::wrapSinglePort(runSingle(streams[0], arena));
 
     const unsigned n_ports = static_cast<unsigned>(streams.size());
     std::vector<MemoryModule> modules;
-    modules.reserve(cfg.modules());
-    for (ModuleId i = 0; i < cfg.modules(); ++i)
-        modules.emplace_back(i, cfg.serviceCycles(),
-                             cfg.inputBuffers, cfg.outputBuffers);
+    modules.reserve(cfg_.modules());
+    for (ModuleId i = 0; i < cfg_.modules(); ++i)
+        modules.emplace_back(i, cfg_.serviceCycles(),
+                             cfg_.inputBuffers, cfg_.outputBuffers);
 
     std::vector<PortState> ports(n_ports);
     std::size_t total = 0;
-    for (const auto &s : streams)
-        total += s.size();
+    for (unsigned p = 0; p < n_ports; ++p) {
+        total += streams[p].size();
+        if (arena)
+            ports[p].delivered = arena->acquire(streams[p].size());
+        else
+            ports[p].delivered.reserve(streams[p].size());
+    }
     std::size_t delivered_total = 0;
 
-    // Wedge guard: P fully serialized streams cannot exceed this.
-    const Cycle limit =
-        (static_cast<Cycle>(total) + 4 * n_ports)
-            * (cfg.serviceCycles() + 2)
-        + 64;
+    const Cycle limit = detail::wedgeLimit(cfg_, total, n_ports);
+
+    // Issue-priority scratch, hoisted out of the cycle loop (it
+    // used to be re-allocated every cycle).
+    std::vector<unsigned> order(n_ports);
 
     Cycle makespan = 0;
     for (Cycle now = 0; delivered_total < total; ++now) {
@@ -85,11 +93,7 @@ simulateMultiPort(const MemConfig &cfg, const ModuleMapping &map,
         for (auto &mod : modules)
             mod.tryStart(now);
 
-        // 4. Issue: least-issued port first, so contention for an
-        //    input-buffer slot alternates among the contenders (a
-        //    cycle-parity rotation would alias with the service
-        //    period and starve one port).
-        std::vector<unsigned> order(n_ports);
+        // 4. Issue: least-issued port first.
         for (unsigned p = 0; p < n_ports; ++p)
             order[p] = p;
         std::sort(order.begin(), order.end(),
@@ -104,7 +108,10 @@ simulateMultiPort(const MemConfig &cfg, const ModuleMapping &map,
             if (ps.next >= streams[p].size())
                 continue;
             const Request &req = streams[p][ps.next];
-            const ModuleId target = map.moduleOf(req.addr);
+            const ModuleId target = map_.moduleOf(req.addr);
+            cfva_assert(target < cfg_.modules(),
+                        "mapping produced module ", target,
+                        " outside 2^", cfg_.m);
             MemoryModule &mod = modules[target];
             if (mod.canAccept()) {
                 Delivery d;
@@ -126,25 +133,16 @@ simulateMultiPort(const MemConfig &cfg, const ModuleMapping &map,
         }
     }
 
-    MultiPortResult result;
-    result.makespan = makespan + 1;
-    result.ports.resize(n_ports);
-    for (unsigned p = 0; p < n_ports; ++p) {
-        AccessResult &r = result.ports[p];
-        r.deliveries = std::move(ports[p].delivered);
-        r.firstIssue = ports[p].firstIssue;
-        r.lastDelivery =
-            r.deliveries.empty() ? 0 : r.deliveries.back().delivered;
-        r.latency = r.deliveries.empty()
-            ? 0 : r.lastDelivery - r.firstIssue + 1;
-        r.stallCycles = ports[p].stalls;
-        const Cycle min_latency =
-            static_cast<Cycle>(streams[p].size())
-            + cfg.serviceCycles() + 1;
-        r.conflictFree = r.stallCycles == 0
-            && !r.deliveries.empty() && r.latency == min_latency;
-    }
-    return result;
+    return detail::assemblePortResults(cfg_, streams,
+                                       std::move(ports), makespan);
+}
+
+MultiPortResult
+simulateMultiPort(const MemConfig &cfg, const ModuleMapping &map,
+                  const std::vector<std::vector<Request>> &streams)
+{
+    PerCycleMultiPort backend(cfg, map);
+    return backend.run(streams);
 }
 
 } // namespace cfva

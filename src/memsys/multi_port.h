@@ -1,17 +1,22 @@
 /**
  * @file
- * Multi-port extension: several vectors accessed simultaneously.
+ * Per-cycle multi-port backend: several vectors accessed
+ * simultaneously, stepped one cycle at a time.
  *
  * The paper's conclusions name this as future work: "several
  * vectors ... accessed simultaneously, either in a single processor
- * with several memory ports or in a multiprocessor".  This module
- * provides the substrate to explore it: P ports each issue one
- * request per cycle from an independent stream (any ordering) into
- * the shared modules, and each port has its own return bus.
- * Modules and their buffers are shared, so inter-port interference
- * emerges naturally — and the Sec. 5E remark that extra modules
- * "can be justified by ... simultaneous access to several vectors"
- * becomes measurable (bench_multi_vector).
+ * with several memory ports or in a multiprocessor".  P ports each
+ * issue one request per cycle from an independent stream (any
+ * ordering) into the shared modules, and each port has its own
+ * return bus.  Modules and their buffers are shared, so inter-port
+ * interference emerges naturally — and the Sec. 5E remark that
+ * extra modules "can be justified by ... simultaneous access to
+ * several vectors" becomes measurable (bench_multi_vector).
+ *
+ * This engine is the multi-port oracle: every cycle is stepped, so
+ * its semantics are auditable line by line, and the event-driven
+ * backend (memsys/event_multi_port.h) is held bit-identical to it
+ * by tests/test_multi_port_differential.cc.
  */
 
 #ifndef CFVA_MEMSYS_MULTI_PORT_H
@@ -20,36 +25,50 @@
 #include <vector>
 
 #include "mapping/mapping.h"
+#include "memsys/backend.h"
 #include "memsys/memory_system.h"
 
 namespace cfva {
 
-/** Outcome of a simultaneous multi-vector access. */
-struct MultiPortResult
+/**
+ * The cycle-stepped reference backend.  Each cycle: retire finished
+ * services, drive every port's return bus (oldest ready head of
+ * that port, lowest module on ties), start new services, then issue
+ * at most one request per port — least-issued port first, so
+ * contention for an input-buffer slot alternates among the
+ * contenders (a cycle-parity rotation would alias with the service
+ * period and starve one port).
+ */
+class PerCycleMultiPort final : public MemoryBackend
 {
-    /** Per-port results (latency, stalls, deliveries). */
-    std::vector<AccessResult> ports;
+  public:
+    /**
+     * @param cfg  memory shape (modules, T, buffers)
+     * @param map  shared address mapping; must produce module
+     *             numbers < cfg.modules()
+     */
+    PerCycleMultiPort(const MemConfig &cfg, const ModuleMapping &map);
 
-    /** Cycles from the first issue to the last delivery overall. */
-    Cycle makespan = 0;
+    MultiPortResult
+    run(const std::vector<std::vector<Request>> &streams,
+        DeliveryArena *arena = nullptr) override;
 
-    /** True iff every port ran at its own minimum latency. */
-    bool
-    allConflictFree() const
-    {
-        for (const auto &p : ports) {
-            if (!p.conflictFree)
-                return false;
-        }
-        return true;
-    }
+    /** P = 1 delegates to MemorySystem::run, the single-port
+     *  oracle; bit-identical to run({stream}).ports[0]. */
+    AccessResult
+    runSingle(const std::vector<Request> &stream,
+              DeliveryArena *arena = nullptr) override;
+
+    const char *name() const override { return "per-cycle"; }
+
+  private:
+    MemConfig cfg_;
+    const ModuleMapping &map_;
 };
 
 /**
- * Simulates @p streams issued simultaneously, one request per port
- * per cycle.  Issue priority rotates round robin among ports each
- * cycle so no port starves; each port has a private return bus
- * delivering at most one of its elements per cycle.
+ * Convenience wrapper retained from the pre-backend API: builds a
+ * PerCycleMultiPort and runs @p streams in one call.
  *
  * @param cfg      memory shape (modules, T, buffers)
  * @param map      shared address mapping

@@ -1,10 +1,36 @@
 #include "sim/scenario.h"
 
+#include <sstream>
+
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/stride.h"
 
 namespace cfva::sim {
+
+std::string
+PortMix::label() const
+{
+    if (multipliers.empty())
+        return "1";
+    // '|'-joined so the label embeds cleanly in unquoted CSV cells.
+    std::ostringstream os;
+    for (std::size_t i = 0; i < multipliers.size(); ++i)
+        os << (i ? "|" : "") << multipliers[i];
+    return os.str();
+}
+
+void
+PortMix::validate() const
+{
+    for (std::int64_t m : multipliers) {
+        cfva_assert(m != 0, "port-mix multiplier 0 is not a vector "
+                    "access");
+        const std::int64_t mag = m < 0 ? -m : m;
+        cfva_assert(mag <= kMaxMultiplier,
+                    "port-mix multiplier out of range: ", m);
+    }
+}
 
 void
 ScenarioGrid::addFamilies(unsigned xLo, unsigned xHi,
@@ -27,7 +53,8 @@ std::size_t
 ScenarioGrid::jobCount() const
 {
     return mappings.size() * strides.size() * lengths.size()
-           * (starts.size() + randomStarts) * ports.size();
+           * (starts.size() + randomStarts) * ports.size()
+           * portMixes.size();
 }
 
 std::vector<Scenario>
@@ -39,6 +66,11 @@ ScenarioGrid::expand() const
         cfva_assert(s != 0, "stride 0 is not a vector access");
     for (unsigned p : ports)
         cfva_assert(p >= 1, "port count must be positive");
+    cfva_assert(!portMixes.empty(),
+                "the port-mix axis needs at least one mix (the "
+                "default-constructed PortMix clones the stride)");
+    for (const auto &mix : portMixes)
+        mix.validate();
 
     std::vector<Scenario> jobs;
     jobs.reserve(jobCount());
@@ -52,15 +84,20 @@ ScenarioGrid::expand() const
                 const std::uint64_t resolved =
                     len ? len : mappings[mi].registerLength();
                 for (unsigned p : ports) {
-                    for (Addr a1 : starts) {
-                        jobs.push_back({jobs.size(), mi, stride,
-                                        resolved, a1, p});
-                    }
-                    for (unsigned r = 0; r < randomStarts; ++r) {
-                        jobs.push_back({jobs.size(), mi, stride,
-                                        resolved,
-                                        rng.below(randomStartBound),
-                                        p});
+                    for (std::size_t xi = 0; xi < portMixes.size();
+                         ++xi) {
+                        for (Addr a1 : starts) {
+                            jobs.push_back({jobs.size(), mi, xi,
+                                            stride, resolved, a1,
+                                            p});
+                        }
+                        for (unsigned r = 0; r < randomStarts;
+                             ++r) {
+                            jobs.push_back(
+                                {jobs.size(), mi, xi, stride,
+                                 resolved,
+                                 rng.below(randomStartBound), p});
+                        }
                     }
                 }
             }

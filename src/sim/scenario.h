@@ -4,7 +4,8 @@
  *
  * A ScenarioGrid is the cross product of mapping configurations
  * (kind, t, lambda, s/y/m overrides, buffering), stride sets, access
- * lengths, start addresses, and port counts.  expand() flattens the
+ * lengths, start addresses, port counts, and per-port traffic mixes
+ * (PortMix).  expand() flattens the
  * grid into a dense, deterministically ordered list of independent
  * simulation jobs that the SweepEngine fans out over a thread pool.
  * Randomized start addresses are drawn during expansion from the
@@ -16,6 +17,7 @@
 #define CFVA_SIM_SCENARIO_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/bits.h"
@@ -23,11 +25,51 @@
 
 namespace cfva::sim {
 
+/**
+ * How the P simultaneous streams of a multi-port scenario differ
+ * from one another.  Port p accesses with stride
+ * @c base_stride * multipliers[p % multipliers.size()] from its own
+ * staggered base block; a negative multiplier walks the block
+ * descending (the planner mirrors it from the ascending twin).  An
+ * empty multiplier list means every port clones the base stride —
+ * the historical behavior, and the default grid point.
+ */
+struct PortMix
+{
+    /** Largest accepted multiplier magnitude (validate() and the
+     *  CLI share this one bound). */
+    static constexpr std::int64_t kMaxMultiplier =
+        std::int64_t{1} << 20;
+
+    /** Per-port signed stride multipliers, cycled over the ports;
+     *  empty = all ports use the base stride unchanged. */
+    std::vector<std::int64_t> multipliers;
+
+    /** The effective multiplier of port @p p. */
+    std::int64_t
+    multiplierFor(unsigned p) const
+    {
+        return multipliers.empty()
+                   ? 1
+                   : multipliers[p % multipliers.size()];
+    }
+
+    /** Report label, e.g. "1|3|-1"; "1" for the clone mix. */
+    std::string label() const;
+
+    /** Rejects zero multipliers and magnitudes above
+     *  kMaxMultiplier. */
+    void validate() const;
+
+    bool operator==(const PortMix &o) const = default;
+};
+
 /** One fully expanded simulation job. */
 struct Scenario
 {
     std::size_t index = 0;        //!< dense job id (expansion order)
     std::size_t mappingIndex = 0; //!< into ScenarioGrid::mappings
+    std::size_t portMixIndex = 0; //!< into ScenarioGrid::portMixes
     std::uint64_t stride = 1;     //!< raw stride value S
     std::uint64_t length = 0;     //!< elements accessed
     Addr a1 = 0;                  //!< start address
@@ -67,8 +109,15 @@ struct ScenarioGrid
      */
     unsigned randomStarts = 0;
 
-    /** Port counts; ports > 1 use the multi-port simulator. */
+    /** Port counts; ports > 1 use the multi-port backends. */
     std::vector<unsigned> ports = {1};
+
+    /**
+     * Per-port traffic mixes, crossed with every other axis.  The
+     * default single clone mix reproduces the historical grids
+     * (every port issues the base stride).
+     */
+    std::vector<PortMix> portMixes = {PortMix{}};
 
     /** Seed for the randomized start addresses. */
     std::uint64_t seed = 0x5EEDF00Dull;

@@ -9,7 +9,6 @@
 
 #include "common/logging.h"
 #include "common/stride.h"
-#include "memsys/multi_port.h"
 #include "theory/theory.h"
 
 namespace cfva::sim {
@@ -72,11 +71,13 @@ TextTable
 SweepReport::table() const
 {
     TextTable t({"job", "mapping", "stride", "family", "length",
-                 "a1", "ports", "latency", "min_latency", "stalls",
-                 "conflict_free", "in_window", "efficiency"});
+                 "a1", "ports", "port_mix", "latency",
+                 "min_latency", "stalls", "conflict_free",
+                 "in_window", "efficiency"});
     for (const auto &o : outcomes) {
         t.row(o.index, mappingLabels[o.mappingIndex], o.stride,
-              o.family, o.length, o.a1, o.ports, o.latency,
+              o.family, o.length, o.a1, o.ports,
+              portMixLabels[o.portMixIndex], o.latency,
               o.minLatency, o.stallCycles, o.conflictFree ? 1 : 0,
               o.inWindow ? 1 : 0, fixed(o.efficiency(), 4));
     }
@@ -114,7 +115,8 @@ SweepReport::writeJson(std::ostream &os) const
            << mappingLabels[o.mappingIndex] << "\", \"stride\": "
            << o.stride << ", \"family\": " << o.family
            << ", \"length\": " << o.length << ", \"a1\": " << o.a1
-           << ", \"ports\": " << o.ports << ", \"latency\": "
+           << ", \"ports\": " << o.ports << ", \"port_mix\": \""
+           << portMixLabels[o.portMixIndex] << "\", \"latency\": "
            << o.latency << ", \"min_latency\": " << o.minLatency
            << ", \"stalls\": " << o.stallCycles
            << ", \"conflict_free\": "
@@ -131,15 +133,56 @@ SweepEngine::SweepEngine(SweepOptions opts) : opts_(opts)
     cfva_assert(opts_.grain >= 1, "work-item grain must be positive");
 }
 
+namespace {
+
+/** Port @p p's signed stride under @p mix, overflow-checked. */
+std::int64_t
+mixedStride(const Scenario &sc, const PortMix &mix, unsigned p)
+{
+    const std::int64_t mult = mix.multiplierFor(p);
+    const std::uint64_t mag =
+        static_cast<std::uint64_t>(mult < 0 ? -mult : mult);
+    cfva_assert(sc.stride
+                    <= (~std::uint64_t{0} >> 1) / (mag ? mag : 1),
+                "port-mix stride ", sc.stride, " * ", mult,
+                " overflows");
+    const std::int64_t scaled =
+        static_cast<std::int64_t>(sc.stride * mag);
+    return mult < 0 ? -scaled : scaled;
+}
+
+/**
+ * Plans port @p p's stream: stride scaled by the mix, base address
+ * staggered per port, descending accesses anchored at the top of
+ * their block so no address underflows.
+ */
+AccessPlan
+planPortStream(const ScenarioGrid &grid, const Scenario &sc,
+               const VectorAccessUnit &unit, unsigned p)
+{
+    const PortMix &mix = grid.portMixes[sc.portMixIndex];
+    const std::int64_t stride = mixedStride(sc, mix, p);
+    Addr start = sc.a1 + Addr{p} * grid.portStagger;
+    if (stride < 0) {
+        start += (sc.length - 1)
+                 * static_cast<std::uint64_t>(-stride);
+    }
+    return unit.plan(start, stride, sc.length);
+}
+
+} // namespace
+
 ScenarioOutcome
 SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
-                         const VectorAccessUnit &unit)
+                         const VectorAccessUnit &unit,
+                         DeliveryArena *arena)
 {
     const Stride stride(sc.stride);
 
     ScenarioOutcome out;
     out.index = sc.index;
     out.mappingIndex = sc.mappingIndex;
+    out.portMixIndex = sc.portMixIndex;
     out.stride = sc.stride;
     out.family = stride.family();
     out.length = sc.length;
@@ -163,28 +206,32 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
     out.inWindow = unit.inWindow(stride);
 
     if (sc.ports <= 1) {
-        const AccessResult r = unit.access(sc.a1, stride, sc.length);
+        AccessResult r =
+            unit.execute(planPortStream(grid, sc, unit, 0), arena);
         out.latency = r.latency;
         out.stallCycles = r.stallCycles;
         out.conflictFree = r.conflictFree;
+        if (arena)
+            arena->release(std::move(r.deliveries));
         return out;
     }
 
-    // Multi-port: the same (stride, length) access issued from
-    // every port simultaneously at staggered base addresses, the
-    // "several vectors accessed simultaneously" extension.
+    // Multi-port: one access per port issued simultaneously at
+    // staggered base addresses — the "several vectors accessed
+    // simultaneously" extension — with per-port strides drawn from
+    // the scenario's port mix.  Dispatches to the backend selected
+    // by the unit's engine knob.
     std::vector<std::vector<Request>> streams;
     streams.reserve(sc.ports);
-    for (unsigned p = 0; p < sc.ports; ++p) {
-        const Addr base = sc.a1 + Addr{p} * grid.portStagger;
-        streams.push_back(
-            unit.plan(base, stride, sc.length).stream);
-    }
-    const MultiPortResult r = simulateMultiPort(
-        unit.memConfig(), unit.mapping(), streams);
+    for (unsigned p = 0; p < sc.ports; ++p)
+        streams.push_back(planPortStream(grid, sc, unit, p).stream);
+    MultiPortResult r = unit.executePorts(streams, arena);
     out.latency = r.makespan;
-    for (const auto &port : r.ports)
+    for (auto &port : r.ports) {
         out.stallCycles += port.stallCycles;
+        if (arena)
+            arena->release(std::move(port.deliveries));
+    }
     out.conflictFree = r.allConflictFree();
     return out;
 }
@@ -211,6 +258,10 @@ struct WorkerArena
     // Arena-local state, never shared.
     std::vector<std::unique_ptr<VectorAccessUnit>> units;
     std::vector<ScenarioOutcome> outcomes;
+
+    // Recycles delivery buffers across this worker's scenarios so
+    // the hot loop stops allocating one result vector per access.
+    DeliveryArena deliveries;
 
     const VectorAccessUnit &
     unitFor(const ScenarioGrid &grid, std::size_t mappingIndex,
@@ -264,6 +315,9 @@ SweepEngine::run(const ScenarioGrid &grid) const
     report.mappingLabels.reserve(grid.mappings.size());
     for (const auto &cfg : grid.mappings)
         report.mappingLabels.push_back(cfg.describe());
+    report.portMixLabels.reserve(grid.portMixes.size());
+    for (const auto &mix : grid.portMixes)
+        report.portMixLabels.push_back(mix.label());
     if (jobs.empty())
         return report;
 
@@ -299,7 +353,8 @@ SweepEngine::run(const ScenarioGrid &grid) const
                 mine.outcomes.push_back(runScenario(
                     grid, sc,
                     mine.unitFor(grid, sc.mappingIndex,
-                                 opts_.engine)));
+                                 opts_.engine),
+                    &mine.deliveries));
             }
         }
     };

@@ -33,7 +33,8 @@ struct ScenarioOutcome
 {
     std::size_t index = 0;        //!< job id (= Scenario::index)
     std::size_t mappingIndex = 0; //!< into the grid's mapping axis
-    std::uint64_t stride = 0;
+    std::size_t portMixIndex = 0; //!< into the grid's port-mix axis
+    std::uint64_t stride = 0;     //!< base stride (mix scales it)
     unsigned family = 0;          //!< x with stride = sigma * 2^x
     std::uint64_t length = 0;
     Addr a1 = 0;
@@ -94,6 +95,9 @@ struct SweepReport
     /** describe() of each grid mapping, indexed by mappingIndex. */
     std::vector<std::string> mappingLabels;
 
+    /** label() of each grid port mix, indexed by portMixIndex. */
+    std::vector<std::string> portMixLabels;
+
     std::size_t jobs() const { return outcomes.size(); }
     std::uint64_t conflictFreeJobs() const;
     Cycle totalLatency() const;
@@ -130,8 +134,8 @@ struct SweepOptions
      * configuration in the grid — the sweep's engine axis.  Both
      * engines produce bit-identical reports (the cfva_sweep
      * cross-check mode runs the same grid under each and compares).
-     * Scenarios with ports > 1 always use the per-cycle multi-port
-     * simulator regardless of this knob.
+     * Honored for every port count: multi-port scenarios dispatch
+     * to the matching port-aware backend.
      */
     std::optional<EngineKind> engine;
 };
@@ -156,11 +160,15 @@ class SweepEngine
      * Simulates one scenario on @p unit (the unit built from the
      * scenario's mapping configuration).  Exposed so single-job
      * callers and tests can cross-check the batch path against a
-     * direct simulation.
+     * direct simulation.  When @p arena is given, delivery buffers
+     * are recycled through it (the engine passes each worker's
+     * arena; records are released back once the outcome scalars
+     * are extracted).
      */
     static ScenarioOutcome runScenario(const ScenarioGrid &grid,
                                        const Scenario &sc,
-                                       const VectorAccessUnit &unit);
+                                       const VectorAccessUnit &unit,
+                                       DeliveryArena *arena = nullptr);
 
     const SweepOptions &options() const { return opts_; }
 

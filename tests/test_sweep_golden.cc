@@ -54,6 +54,11 @@ goldenGrid()
     grid.lengths = {0, 8};
     grid.starts = {0, 5};
     grid.randomStarts = 0;
+    // Port and port-mix axes: a clone mix and a mixed-stride /
+    // descending mix, at one and two ports, freezing the multi-port
+    // report columns alongside the single-port ones.
+    grid.ports = {1, 2};
+    grid.portMixes = {PortMix{}, PortMix{{1, -3}}};
     return grid;
 }
 

@@ -52,6 +52,12 @@ usage(std::ostream &os)
           "  --random-starts N  extra random starts per combo "
           "(default 3)\n"
           "  --ports LIST       simultaneous ports (default 1)\n"
+          "  --port-mix M1/M2   per-port traffic mixes; each mix is\n"
+          "                     comma-separated signed stride\n"
+          "                     multipliers cycled over the ports\n"
+          "                     (negative = descending access), '/'\n"
+          "                     separates mixes (default 1 = every\n"
+          "                     port clones the base stride)\n"
           "  --seed S           seed for random starts\n"
           "\n"
           "Execution and output:\n"
@@ -117,6 +123,53 @@ parseU64List(const std::string &arg, const char *what)
     if (vals.empty())
         cfva_fatal("empty ", what, " list");
     return vals;
+}
+
+std::int64_t
+parseI64(const std::string &arg, const char *what)
+{
+    try {
+        std::size_t used = 0;
+        const std::int64_t v = std::stoll(arg, &used);
+        if (used != arg.size() || arg.empty())
+            throw std::invalid_argument(arg);
+        return v;
+    } catch (const std::exception &) {
+        cfva_fatal("bad ", what, " value: ", arg);
+    }
+}
+
+/** Parses "1,3/1,-1" into one PortMix per '/'-separated group. */
+std::vector<sim::PortMix>
+parsePortMixes(const std::string &arg)
+{
+    std::vector<sim::PortMix> mixes;
+    if (!arg.empty() && arg.back() == '/')
+        cfva_fatal("trailing '/' leaves an empty --port-mix group "
+                   "in: ", arg);
+    std::stringstream groups(arg);
+    std::string group;
+    while (std::getline(groups, group, '/')) {
+        sim::PortMix mix;
+        for (const auto &part : splitList(group)) {
+            const std::int64_t m = parseI64(part, "--port-mix");
+            if (m == 0)
+                cfva_fatal("--port-mix multiplier 0 is not a "
+                           "vector access");
+            if (m > sim::PortMix::kMaxMultiplier
+                || m < -sim::PortMix::kMaxMultiplier)
+                cfva_fatal("--port-mix multiplier out of range "
+                           "(|m| <= ", sim::PortMix::kMaxMultiplier,
+                           "): ", m);
+            mix.multipliers.push_back(m);
+        }
+        if (mix.multipliers.empty())
+            cfva_fatal("empty --port-mix group in: ", arg);
+        mixes.push_back(std::move(mix));
+    }
+    if (mixes.empty())
+        cfva_fatal("empty --port-mix list");
+    return mixes;
 }
 
 /** Parses "LO..HI" (or a single value) into an inclusive range. */
@@ -196,6 +249,7 @@ struct Options
     std::vector<std::uint64_t> starts = {0};
     unsigned randomStarts = 3;
     std::vector<std::uint64_t> ports = {1};
+    std::vector<sim::PortMix> portMixes = {sim::PortMix{}};
     std::uint64_t seed = 0x5EEDF00Dull;
 
     unsigned threads = 0;
@@ -249,6 +303,8 @@ parseArgs(int argc, char **argv)
                                       "--random-starts");
         } else if (a == "--ports") {
             o.ports = parseU64List(need(i, "--ports"), "--ports");
+        } else if (a == "--port-mix") {
+            o.portMixes = parsePortMixes(need(i, "--port-mix"));
         } else if (a == "--seed") {
             o.seed = parseU64(need(i, "--seed"), "--seed");
         } else if (a == "--engine") {
@@ -348,6 +404,7 @@ buildGrid(const Options &o)
             cfva_fatal("--ports values must be in 1..1024, got ", p);
         grid.ports.push_back(static_cast<unsigned>(p));
     }
+    grid.portMixes = o.portMixes;
     grid.seed = o.seed;
     return grid;
 }
@@ -381,7 +438,8 @@ main(int argc, char **argv)
               << grid.strides.size() << " strides x "
               << grid.lengths.size() << " lengths x "
               << (grid.starts.size() + grid.randomStarts)
-              << " starts x " << grid.ports.size() << " ports = "
+              << " starts x " << grid.ports.size() << " ports x "
+              << grid.portMixes.size() << " mixes = "
               << grid.jobCount() << " scenarios\n";
 
     std::string engineNames = to_string(o.engines.front());
