@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "access/agu.h"
 #include "access/ordering.h"
 #include "core/access_unit.h"
@@ -16,7 +18,11 @@
 #include "mapping/skew.h"
 #include "mapping/xor_matched.h"
 #include "mapping/xor_sectioned.h"
+#include "memsys/backend_cache.h"
 #include "memsys/memory_system.h"
+#include "sim/scenario.h"
+#include "sim/sweep_engine.h"
+#include "sim/sweep_sink.h"
 
 namespace {
 
@@ -139,6 +145,65 @@ BM_PlanFullAccess(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PlanFullAccess);
+
+/**
+ * The per-access setup cost the backend cache removes: the same
+ * plan executed with a fresh backend per access (the historical
+ * hot path) vs through a per-worker BackendCache.  The cached/
+ * fresh ratio is the construction overhead at this M.
+ */
+void
+BM_ExecuteBackend(benchmark::State &state, EngineKind engine,
+                  bool cached)
+{
+    VectorUnitConfig cfg = paperSectionedExample(); // M = 64
+    cfg.engine = engine;
+    const VectorAccessUnit unit(cfg);
+    const auto plan = unit.plan(16, Stride(12), 128);
+    BackendCache cache;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            unit.execute(plan, nullptr, cached ? &cache : nullptr));
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK_CAPTURE(BM_ExecuteBackend, fresh_percycle,
+                  cfva::EngineKind::PerCycle, false);
+BENCHMARK_CAPTURE(BM_ExecuteBackend, cached_percycle,
+                  cfva::EngineKind::PerCycle, true);
+BENCHMARK_CAPTURE(BM_ExecuteBackend, fresh_event,
+                  cfva::EngineKind::EventDriven, false);
+BENCHMARK_CAPTURE(BM_ExecuteBackend, cached_event,
+                  cfva::EngineKind::EventDriven, true);
+
+/**
+ * End-to-end streaming sweep: a small grid run through runToSink
+ * with the CSV sink into a discarded buffer — the full production
+ * pipeline (expansion, worker pool, backend cache, ordered flush,
+ * formatting) measured per scenario.
+ */
+void
+BM_SweepStreamCsv(benchmark::State &state)
+{
+    sim::ScenarioGrid grid;
+    grid.mappings.push_back(paperMatchedExample());
+    grid.addFamilies(0, 4, {1, 3});
+    grid.randomStarts = 1;
+
+    sim::SweepOptions opts;
+    opts.threads = static_cast<unsigned>(state.range(0));
+    opts.engine = EngineKind::EventDriven;
+    const sim::SweepEngine engine(opts);
+    for (auto _ : state) {
+        std::ostringstream sink_os;
+        sim::CsvStreamSink sink(sink_os);
+        engine.runToSink(grid, sink);
+        benchmark::DoNotOptimize(sink_os);
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * grid.jobCount());
+}
+BENCHMARK(BM_SweepStreamCsv)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

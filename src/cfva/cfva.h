@@ -33,6 +33,7 @@
 
 // Memory-system simulators.
 #include "memsys/backend.h"
+#include "memsys/backend_cache.h"
 #include "memsys/event_driven.h"
 #include "memsys/event_multi_port.h"
 #include "memsys/event_queue.h"
@@ -61,7 +62,9 @@
 #include "vproc/stripmine.h"
 
 // Batch scenario sweeps.
+#include "sim/merge.h"
 #include "sim/scenario.h"
 #include "sim/sweep_engine.h"
+#include "sim/sweep_sink.h"
 
 #endif // CFVA_CFVA_H

@@ -9,6 +9,7 @@
 #include "mapping/xor_matched.h"
 #include "mapping/xor_sectioned.h"
 #include "memsys/backend.h"
+#include "memsys/backend_cache.h"
 
 namespace cfva {
 
@@ -358,8 +359,14 @@ VectorAccessUnit::plan(Addr a1, std::int64_t stride,
 
 AccessResult
 VectorAccessUnit::execute(const AccessPlan &plan,
-                          DeliveryArena *arena) const
+                          DeliveryArena *arena,
+                          BackendCache *cache) const
 {
+    if (cache) {
+        return cache
+            ->backendFor(cfg_.engine, cfg_.memConfig(), *mapping_)
+            .runSingle(plan.stream, arena);
+    }
     return makeMemoryBackend(cfg_.engine, cfg_.memConfig(), *mapping_)
         ->runSingle(plan.stream, arena);
 }
@@ -367,8 +374,13 @@ VectorAccessUnit::execute(const AccessPlan &plan,
 MultiPortResult
 VectorAccessUnit::executePorts(
     const std::vector<std::vector<Request>> &streams,
-    DeliveryArena *arena) const
+    DeliveryArena *arena, BackendCache *cache) const
 {
+    if (cache) {
+        return cache
+            ->backendFor(cfg_.engine, cfg_.memConfig(), *mapping_)
+            .run(streams, arena);
+    }
     return makeMemoryBackend(cfg_.engine, cfg_.memConfig(), *mapping_)
         ->run(streams, arena);
 }

@@ -26,6 +26,8 @@
 
 namespace cfva {
 
+class BackendCache;
+
 /** How the unit decided to issue one access. */
 enum class AccessPolicy
 {
@@ -98,19 +100,26 @@ class VectorAccessUnit
      * config().engine — the per-cycle reference or the event-driven
      * engine; both produce identical results.  When @p arena is
      * given, the result's delivery buffer is recycled through it.
+     * When @p cache is given, the backend instance is taken from it
+     * (and built into it on first use) instead of being rebuilt for
+     * this one access — the sweep engine passes each worker's cache
+     * so modules and event heaps are reused across all scenarios.
      */
     AccessResult execute(const AccessPlan &plan,
-                         DeliveryArena *arena = nullptr) const;
+                         DeliveryArena *arena = nullptr,
+                         BackendCache *cache = nullptr) const;
 
     /**
      * Runs P = streams.size() simultaneous request streams through
      * the port-aware backend selected by config().engine.  The
      * engine knob is honored for every port count; the per-cycle
      * and event-driven backends produce bit-identical results.
+     * @p cache as in execute().
      */
     MultiPortResult
     executePorts(const std::vector<std::vector<Request>> &streams,
-                 DeliveryArena *arena = nullptr) const;
+                 DeliveryArena *arena = nullptr,
+                 BackendCache *cache = nullptr) const;
 
     /** plan() + execute() in one call. */
     AccessResult access(Addr a1, const Stride &s,

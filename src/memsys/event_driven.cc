@@ -1,5 +1,6 @@
 #include "memsys/event_driven.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/logging.h"
@@ -26,6 +27,18 @@ AccessResult
 EventDrivenMemorySystem::run(const std::vector<Request> &stream,
                              DeliveryArena *arena)
 {
+    // Self-resetting: one instance serves many accesses (the
+    // backend cache reuses engines across a whole sweep).  After a
+    // drained run everything below is empty already, so the reset
+    // costs O(M) trivial clears.
+    for (auto &mod : modules_)
+        mod.reset();
+    retire_.clear();
+    outputs_.clear();
+    arrivals_.clear();
+    std::fill(retireBlocked_.begin(), retireBlocked_.end(),
+              std::uint8_t{0});
+
     AccessResult result;
     if (arena)
         result.deliveries = arena->acquire(stream.size());

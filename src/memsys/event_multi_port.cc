@@ -12,18 +12,26 @@ using detail::PortState;
 
 EventDrivenMultiPort::EventDrivenMultiPort(const MemConfig &cfg,
                                            const ModuleMapping &map)
-    : cfg_(cfg), map_(map)
+    : cfg_(cfg), map_(map), single_(cfg, map), retire_(cfg.modules()),
+      retireBlocked_(cfg.modules(), 0)
 {
     cfva_assert(map.moduleBits() == cfg.m,
                 "mapping has 2^", map.moduleBits(),
                 " modules but config expects 2^", cfg.m);
+    modules_.reserve(cfg.modules());
+    for (ModuleId i = 0; i < cfg.modules(); ++i)
+        modules_.emplace_back(i, cfg.serviceCycles(),
+                              cfg.inputBuffers, cfg.outputBuffers);
+    startable_.reserve(cfg.modules());
 }
 
 AccessResult
 EventDrivenMultiPort::runSingle(const std::vector<Request> &stream,
                                 DeliveryArena *arena)
 {
-    return simulateAccessEventDriven(cfg_, map_, stream, arena);
+    // EventDrivenMemorySystem::run self-resets, so the persistent
+    // engine behaves exactly like a freshly built one.
+    return single_.run(stream, arena);
 }
 
 MultiPortResult
@@ -38,11 +46,11 @@ EventDrivenMultiPort::run(
     const unsigned n_ports = static_cast<unsigned>(streams.size());
     const Cycle t_cycles = cfg_.serviceCycles();
 
-    std::vector<MemoryModule> modules;
-    modules.reserve(cfg_.modules());
-    for (ModuleId i = 0; i < cfg_.modules(); ++i)
-        modules.emplace_back(i, t_cycles, cfg_.inputBuffers,
-                             cfg_.outputBuffers);
+    // Reset the persistent simulation state (all empty after a
+    // drained run) and size the per-port scratch for this access.
+    std::vector<MemoryModule> &modules = modules_;
+    for (auto &mod : modules)
+        mod.reset();
 
     std::vector<PortState> ports(n_ports);
     std::size_t total = 0;
@@ -56,7 +64,8 @@ EventDrivenMultiPort::run(
     std::size_t delivered_total = 0;
 
     /** Pending service completions, keyed by ready cycle. */
-    ModuleEventHeap retire(cfg_.modules());
+    ModuleEventHeap &retire = retire_;
+    retire.clear();
 
     /**
      * Per-port return-bus heaps.  A module with a nonempty output
@@ -65,31 +74,37 @@ EventDrivenMultiPort::run(
      * Popping heap p's minimum IS port p's return-bus arbitration
      * (oldest ready first, lowest module number on ties).
      */
-    std::vector<ModuleEventHeap> outHeads;
-    outHeads.reserve(n_ports);
-    for (unsigned p = 0; p < n_ports; ++p)
+    std::vector<ModuleEventHeap> &outHeads = outHeads_;
+    for (auto &heap : outHeads)
+        heap.clear();
+    while (outHeads.size() < n_ports)
         outHeads.emplace_back(cfg_.modules());
 
     /** In-flight request-bus arrivals, in issue order (several
      *  ports may issue in one cycle; times stay nondecreasing). */
-    ArrivalQueue arrivals;
+    ArrivalQueue &arrivals = arrivals_;
+    arrivals.clear();
 
     /** Modules whose finished service waits on a full output
      *  buffer; re-armed on the next delivery from that module. */
-    std::vector<std::uint8_t> retireBlocked(cfg_.modules(), 0);
+    std::vector<std::uint8_t> &retireBlocked = retireBlocked_;
+    std::fill(retireBlocked.begin(), retireBlocked.end(),
+              std::uint8_t{0});
 
     /** Scratch: modules that may start a service this cycle. */
-    std::vector<ModuleId> startable;
-    startable.reserve(cfg_.modules());
+    std::vector<ModuleId> &startable = startable_;
 
     /** Issue-priority scratch, hoisted like in the per-cycle loop. */
-    std::vector<unsigned> order(n_ports);
+    order_.resize(n_ports);
+    std::vector<unsigned> &order = order_;
 
     // Each port's issue target is a pure function of its pending
     // request; resolve once per request, not once per retry.
-    std::vector<ModuleId> target(n_ports, 0);
-    std::vector<std::size_t> targetOf(
-        n_ports, std::numeric_limits<std::size_t>::max());
+    target_.assign(n_ports, 0);
+    targetOf_.assign(n_ports,
+                     std::numeric_limits<std::size_t>::max());
+    std::vector<ModuleId> &target = target_;
+    std::vector<std::size_t> &targetOf = targetOf_;
     auto targetModule = [&](unsigned p) -> ModuleId {
         PortState &ps = ports[p];
         if (targetOf[p] != ps.next) {

@@ -38,10 +38,12 @@
 #ifndef CFVA_MEMSYS_EVENT_MULTI_PORT_H
 #define CFVA_MEMSYS_EVENT_MULTI_PORT_H
 
+#include <cstdint>
 #include <vector>
 
 #include "mapping/mapping.h"
 #include "memsys/backend.h"
+#include "memsys/event_driven.h"
 #include "memsys/event_queue.h"
 #include "memsys/memory_system.h"
 
@@ -74,6 +76,23 @@ class EventDrivenMultiPort final : public MemoryBackend
   private:
     MemConfig cfg_;
     const ModuleMapping &map_;
+
+    // Persistent across run() calls so a cached backend stops
+    // paying the per-access construction cost: the module array,
+    // the event heaps, and the issue scratch survive between
+    // accesses and are reset (cheaply — everything is empty after
+    // a drained run) at the top of each run().  Per-port state is
+    // sized in place, so one instance serves every port count.
+    EventDrivenMemorySystem single_;
+    std::vector<MemoryModule> modules_;
+    ModuleEventHeap retire_;
+    std::vector<ModuleEventHeap> outHeads_;
+    ArrivalQueue arrivals_;
+    std::vector<std::uint8_t> retireBlocked_;
+    std::vector<ModuleId> startable_;
+    std::vector<unsigned> order_;
+    std::vector<ModuleId> target_;
+    std::vector<std::size_t> targetOf_;
 };
 
 /**

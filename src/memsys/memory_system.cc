@@ -47,6 +47,12 @@ AccessResult
 MemorySystem::run(const std::vector<Request> &stream,
                   DeliveryArena *arena)
 {
+    // Self-resetting: one instance serves many accesses (the
+    // backend cache reuses engines across a whole sweep), so any
+    // residue from a previous run is cleared up front.
+    for (auto &mod : modules_)
+        mod.reset();
+
     AccessResult result;
     if (arena)
         result.deliveries = arena->acquire(stream.size());

@@ -82,4 +82,13 @@ MemoryModule::drained() const
     return input_.empty() && !inService_ && output_.empty();
 }
 
+void
+MemoryModule::reset()
+{
+    input_.clear();
+    inService_.reset();
+    output_.clear();
+    peakInput_ = 0;
+}
+
 } // namespace cfva

@@ -69,6 +69,14 @@ class MemoryModule
     /** True iff no element is buffered, in service, or undelivered. */
     bool drained() const;
 
+    /**
+     * Restores the freshly constructed state (empty buffers, no
+     * service in flight, peak statistics cleared) so one module
+     * instance can serve many simulated accesses — engines that
+     * cache their module arrays call this instead of reallocating.
+     */
+    void reset();
+
     /** True iff an element is currently being serviced. */
     bool busy() const { return inService_.has_value(); }
 

@@ -11,18 +11,25 @@ using detail::PortState;
 
 PerCycleMultiPort::PerCycleMultiPort(const MemConfig &cfg,
                                      const ModuleMapping &map)
-    : cfg_(cfg), map_(map)
+    : cfg_(cfg), map_(map), single_(cfg, map)
 {
     cfva_assert(map.moduleBits() == cfg.m,
                 "mapping has 2^", map.moduleBits(),
                 " modules but config expects 2^", cfg.m);
+    modules_.reserve(cfg.modules());
+    for (ModuleId i = 0; i < cfg.modules(); ++i)
+        modules_.emplace_back(i, cfg.serviceCycles(),
+                              cfg.inputBuffers, cfg.outputBuffers);
 }
 
 AccessResult
 PerCycleMultiPort::runSingle(const std::vector<Request> &stream,
                              DeliveryArena *arena)
 {
-    return simulateAccess(cfg_, map_, stream, arena);
+    // MemorySystem::run self-resets, so the persistent engine
+    // behaves exactly like the freshly built one simulateAccess
+    // used to construct per access.
+    return single_.run(stream, arena);
 }
 
 MultiPortResult
@@ -34,11 +41,11 @@ PerCycleMultiPort::run(const std::vector<std::vector<Request>> &streams,
         return detail::wrapSinglePort(runSingle(streams[0], arena));
 
     const unsigned n_ports = static_cast<unsigned>(streams.size());
-    std::vector<MemoryModule> modules;
-    modules.reserve(cfg_.modules());
-    for (ModuleId i = 0; i < cfg_.modules(); ++i)
-        modules.emplace_back(i, cfg_.serviceCycles(),
-                             cfg_.inputBuffers, cfg_.outputBuffers);
+    std::vector<MemoryModule> &modules = modules_;
+    for (auto &mod : modules)
+        mod.reset();
+    order_.resize(n_ports);
+    std::vector<unsigned> &order = order_;
 
     std::vector<PortState> ports(n_ports);
     std::size_t total = 0;
@@ -52,10 +59,6 @@ PerCycleMultiPort::run(const std::vector<std::vector<Request>> &streams,
     std::size_t delivered_total = 0;
 
     const Cycle limit = detail::wedgeLimit(cfg_, total, n_ports);
-
-    // Issue-priority scratch, hoisted out of the cycle loop (it
-    // used to be re-allocated every cycle).
-    std::vector<unsigned> order(n_ports);
 
     Cycle makespan = 0;
     for (Cycle now = 0; delivered_total < total; ++now) {

@@ -64,6 +64,15 @@ class PerCycleMultiPort final : public MemoryBackend
   private:
     MemConfig cfg_;
     const ModuleMapping &map_;
+
+    // Persistent across run() calls so a cached backend stops
+    // paying the per-access construction cost (module array with
+    // its buffer deques, the single-port engine, issue scratch).
+    // Every run() resets what it uses; results are bit-identical
+    // to a freshly constructed backend.
+    MemorySystem single_;
+    std::vector<MemoryModule> modules_;
+    std::vector<unsigned> order_; //!< issue-priority scratch
 };
 
 /**

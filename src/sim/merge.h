@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shard-output merging: N shard CSV/JSON files -> the canonical
+ * unsharded report.
+ *
+ * Shards are contiguous job-order slices (ShardSpec), and the
+ * stream sinks emit them with exactly the canonical formatting, so
+ * merging is pure concatenation: keep the first CSV header and
+ * append the rows of every shard in shard order; splice the JSON
+ * array bodies back together.  The result is byte-identical to the
+ * file an unsharded run would have written — enforced by
+ * tests/test_sweep_stream.cc and the CI sharded cross-check.
+ *
+ * The helpers live in the library (not just tools/cfva_merge) so
+ * the differential tests exercise the exact code the tool runs.
+ */
+
+#ifndef CFVA_SIM_MERGE_H
+#define CFVA_SIM_MERGE_H
+
+#include <iosfwd>
+#include <vector>
+
+namespace cfva::sim {
+
+/**
+ * Concatenates shard CSVs in shard order.  Every shard must carry
+ * the same header line (fatal otherwise); only the first is kept.
+ */
+void mergeCsv(std::ostream &out,
+              const std::vector<std::istream *> &shards);
+
+/**
+ * Splices shard JSON arrays into one array, preserving the
+ * canonical writeJson byte layout.  Empty shards ("[]") contribute
+ * nothing; a shard without an array is fatal.
+ */
+void mergeJson(std::ostream &out,
+               const std::vector<std::istream *> &shards);
+
+} // namespace cfva::sim
+
+#endif // CFVA_SIM_MERGE_H

@@ -1,7 +1,9 @@
 #include "sim/sweep_engine.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -9,6 +11,8 @@
 
 #include "common/logging.h"
 #include "common/stride.h"
+#include "memsys/backend_cache.h"
+#include "sim/sweep_sink.h"
 #include "theory/theory.h"
 
 namespace cfva::sim {
@@ -85,11 +89,11 @@ SweepReport::table() const
 }
 
 TextTable
-SweepReport::summaryTable() const
+mappingSummaryTable(const std::vector<MappingSummary> &rows)
 {
     TextTable t({"mapping", "jobs", "conflict-free", "total latency",
                  "total stalls", "mean efficiency"});
-    for (const auto &r : perMapping()) {
+    for (const auto &r : rows) {
         t.row(r.label, r.jobs, ratio(r.conflictFree, r.jobs),
               r.totalLatency, r.totalStalls,
               fixed(r.meanEfficiency, 4));
@@ -97,40 +101,76 @@ SweepReport::summaryTable() const
     return t;
 }
 
+TextTable
+SweepReport::summaryTable() const
+{
+    return mappingSummaryTable(perMapping());
+}
+
+void
+SweepReport::stream(SweepSink &sink) const
+{
+    SweepContext ctx;
+    ctx.mappingLabels = mappingLabels;
+    ctx.portMixLabels = portMixLabels;
+    ctx.totalJobs = outcomes.size();
+    ctx.firstJob = outcomes.empty() ? 0 : outcomes.front().index;
+    ctx.lastJob = outcomes.empty() ? 0 : outcomes.back().index + 1;
+    sink.begin(ctx);
+    for (const auto &o : outcomes)
+        sink.consume(o);
+    sink.end();
+}
+
 void
 SweepReport::writeCsv(std::ostream &os) const
 {
-    table().printCsv(os);
+    CsvStreamSink sink(os);
+    stream(sink);
 }
 
 void
 SweepReport::writeJson(std::ostream &os) const
 {
-    os << "[";
-    bool first = true;
-    for (const auto &o : outcomes) {
-        os << (first ? "\n" : ",\n");
-        first = false;
-        os << "  {\"job\": " << o.index << ", \"mapping\": \""
-           << mappingLabels[o.mappingIndex] << "\", \"stride\": "
-           << o.stride << ", \"family\": " << o.family
-           << ", \"length\": " << o.length << ", \"a1\": " << o.a1
-           << ", \"ports\": " << o.ports << ", \"port_mix\": \""
-           << portMixLabels[o.portMixIndex] << "\", \"latency\": "
-           << o.latency << ", \"min_latency\": " << o.minLatency
-           << ", \"stalls\": " << o.stallCycles
-           << ", \"conflict_free\": "
-           << (o.conflictFree ? "true" : "false")
-           << ", \"in_window\": " << (o.inWindow ? "true" : "false")
-           << ", \"efficiency\": " << fixed(o.efficiency(), 6)
-           << "}";
-    }
-    os << "\n]\n";
+    JsonStreamSink sink(os);
+    stream(sink);
+}
+
+void
+ShardSpec::validate() const
+{
+    cfva_assert(count >= 1, "shard count must be >= 1");
+    cfva_assert(index < count, "shard index ", index,
+                " out of range for ", count, " shards");
+}
+
+std::pair<std::size_t, std::size_t>
+ShardSpec::sliceOf(std::size_t jobs) const
+{
+    return {index * jobs / count, (index + 1) * jobs / count};
+}
+
+void
+SweepOptions::validate() const
+{
+    shard.validate();
+}
+
+std::size_t
+SweepOptions::effectiveGrain(std::size_t jobs,
+                             unsigned threads) const
+{
+    if (grain)
+        return grain;
+    const std::size_t target =
+        kChunksPerThread * std::max(threads, 1u);
+    return std::clamp<std::size_t>(jobs / target, 1,
+                                   kMaxAdaptiveGrain);
 }
 
 SweepEngine::SweepEngine(SweepOptions opts) : opts_(opts)
 {
-    cfva_assert(opts_.grain >= 1, "work-item grain must be positive");
+    opts_.validate();
 }
 
 namespace {
@@ -175,7 +215,7 @@ planPortStream(const ScenarioGrid &grid, const Scenario &sc,
 ScenarioOutcome
 SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                          const VectorAccessUnit &unit,
-                         DeliveryArena *arena)
+                         DeliveryArena *arena, BackendCache *cache)
 {
     const Stride stride(sc.stride);
 
@@ -206,8 +246,8 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
     out.inWindow = unit.inWindow(stride);
 
     if (sc.ports <= 1) {
-        AccessResult r =
-            unit.execute(planPortStream(grid, sc, unit, 0), arena);
+        AccessResult r = unit.execute(planPortStream(grid, sc, unit, 0),
+                                      arena, cache);
         out.latency = r.latency;
         out.stallCycles = r.stallCycles;
         out.conflictFree = r.conflictFree;
@@ -225,7 +265,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
     streams.reserve(sc.ports);
     for (unsigned p = 0; p < sc.ports; ++p)
         streams.push_back(planPortStream(grid, sc, unit, p).stream);
-    MultiPortResult r = unit.executePorts(streams, arena);
+    MultiPortResult r = unit.executePorts(streams, arena, cache);
     out.latency = r.makespan;
     for (auto &port : r.ports) {
         out.stallCycles += port.stallCycles;
@@ -247,8 +287,9 @@ struct Chunk
 
 /**
  * Everything one worker touches on the hot path: its share of the
- * work, its lazily built access units, and its result buffer.
- * Workers only take another worker's mutex when stealing.
+ * work, its lazily built access units, its backend cache, and its
+ * delivery recycler.  Workers only take another worker's mutex
+ * when stealing.
  */
 struct WorkerArena
 {
@@ -257,7 +298,13 @@ struct WorkerArena
 
     // Arena-local state, never shared.
     std::vector<std::unique_ptr<VectorAccessUnit>> units;
-    std::vector<ScenarioOutcome> outcomes;
+
+    // Reuses one MemoryBackend (modules, event heaps, scratch) per
+    // (engine, mapping) across all of this worker's scenarios
+    // instead of rebuilding it per access.  Declared after `units`:
+    // the cached backends reference the units' mappings and must be
+    // destroyed first.
+    BackendCache backends;
 
     // Recycles delivery buffers across this worker's scenarios so
     // the hot loop stops allocating one result vector per access.
@@ -304,43 +351,164 @@ stealFrom(WorkerArena &victim, Chunk &out)
     return true;
 }
 
+/**
+ * The ordered flush queue between the work-stealing workers and the
+ * sink: completed chunks arrive in any order, the sink sees their
+ * outcomes in strictly increasing job order.
+ *
+ * Memory stays bounded by an admission window: a worker offering a
+ * chunk that starts more than `window` jobs past the lowest
+ * undelivered job waits until the stream catches up.  This cannot
+ * deadlock — job delivery is chunk-granular and in order, so the
+ * next needed job is always the first job of some chunk, and that
+ * chunk is admitted unconditionally (first == next < next+window).
+ * Its holder is therefore never blocked: it is either computing the
+ * chunk or pushing it successfully.  (The chunk can't sit unclaimed
+ * while its owner blocks elsewhere, because workers drain their own
+ * deque front-to-back in ascending job order before stealing.)
+ *
+ * Sink calls happen under the queue mutex, so sinks never see
+ * concurrent or out-of-order calls.
+ */
+class OrderedFlush
+{
+  public:
+    OrderedFlush(SweepSink &sink, std::size_t firstJob,
+                 std::size_t window)
+        : sink_(sink), next_(firstJob), window_(window)
+    {
+    }
+
+    /** Hands a completed chunk's outcomes to the queue; blocks
+     *  while the chunk is beyond the admission window. */
+    void
+    push(std::size_t first, std::vector<ScenarioOutcome> &&outcomes)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock,
+                 [&] { return first - next_ <= window_; });
+        pendingCount_ += outcomes.size();
+        peak_ = std::max(peak_, pendingCount_);
+        pending_.emplace(first, std::move(outcomes));
+        if (delivering_)
+            return; // the active deliverer will pick this chunk up
+
+        // Become the deliverer: splice ready chunks out under the
+        // lock, feed the sink with the lock RELEASED (formatting
+        // and file I/O must not serialize the other workers'
+        // pushes), repeat until the stream stalls.  The flag keeps
+        // sink calls serialized and in order.
+        delivering_ = true;
+        while (!pending_.empty()
+               && pending_.begin()->first == next_) {
+            const std::vector<ScenarioOutcome> ready =
+                std::move(pending_.begin()->second);
+            pending_.erase(pending_.begin());
+            next_ += ready.size();
+            pendingCount_ -= ready.size();
+            cv_.notify_all();
+            lock.unlock();
+            for (const auto &o : ready)
+                sink_.consume(o);
+            lock.lock();
+        }
+        delivering_ = false;
+    }
+
+    /** Lowest job index not yet delivered to the sink. */
+    std::size_t
+    delivered() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return next_;
+    }
+
+    std::size_t
+    peakPending() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return peak_;
+    }
+
+  private:
+    SweepSink &sink_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+
+    /** Completed chunks keyed by first job index. */
+    std::map<std::size_t, std::vector<ScenarioOutcome>> pending_;
+    std::size_t pendingCount_ = 0;
+    std::size_t peak_ = 0;
+    std::size_t next_;
+    std::size_t window_;
+    bool delivering_ = false;
+};
+
 } // namespace
 
-SweepReport
-SweepEngine::run(const ScenarioGrid &grid) const
+void
+SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
+                       SweepRunStats *stats) const
 {
     const std::vector<Scenario> jobs = grid.expand();
 
-    SweepReport report;
-    report.mappingLabels.reserve(grid.mappings.size());
+    SweepContext ctx;
+    ctx.mappingLabels.reserve(grid.mappings.size());
     for (const auto &cfg : grid.mappings)
-        report.mappingLabels.push_back(cfg.describe());
-    report.portMixLabels.reserve(grid.portMixes.size());
+        ctx.mappingLabels.push_back(cfg.describe());
+    ctx.portMixLabels.reserve(grid.portMixes.size());
     for (const auto &mix : grid.portMixes)
-        report.portMixLabels.push_back(mix.label());
-    if (jobs.empty())
-        return report;
+        ctx.portMixLabels.push_back(mix.label());
+    ctx.totalJobs = jobs.size();
+    const auto [firstJob, lastJob] =
+        opts_.shard.sliceOf(jobs.size());
+    ctx.firstJob = firstJob;
+    ctx.lastJob = lastJob;
+
+    SweepRunStats run;
+    run.jobs = lastJob - firstJob;
+
+    sink.begin(ctx);
+    if (firstJob == lastJob) {
+        sink.end();
+        if (stats)
+            *stats = run;
+        return;
+    }
 
     unsigned threads = opts_.threads
                            ? opts_.threads
                            : std::max(1u,
                                       std::thread::
                                           hardware_concurrency());
-    const std::size_t chunkCount =
-        (jobs.size() + opts_.grain - 1) / opts_.grain;
+    const std::size_t grain =
+        opts_.effectiveGrain(run.jobs, threads);
+    const std::size_t chunkCount = (run.jobs + grain - 1) / grain;
     threads = static_cast<unsigned>(
         std::min<std::size_t>(threads, chunkCount));
+    run.threads = threads;
+    run.grain = grain;
+    run.chunks = chunkCount;
 
     std::vector<WorkerArena> arenas(threads);
     for (std::size_t c = 0; c < chunkCount; ++c) {
-        const std::size_t first = c * opts_.grain;
+        const std::size_t first = firstJob + c * grain;
         const std::size_t last =
-            std::min(first + opts_.grain, jobs.size());
+            std::min(first + grain, lastJob);
         arenas[c % threads].chunks.push_back({first, last});
     }
 
+    // Admission window of the ordered flush: workers may run at
+    // most this many jobs ahead of the stream, which bounds the
+    // outcomes in flight to O(threads x grain) regardless of the
+    // grid size.
+    const std::size_t window = 4 * threads * grain;
+    run.pendingWindow = window;
+    OrderedFlush flush(sink, firstJob, window);
+
     auto work = [&](unsigned self) {
         WorkerArena &mine = arenas[self];
+        std::vector<ScenarioOutcome> buf;
         Chunk chunk;
         for (;;) {
             bool have = popOwn(mine, chunk);
@@ -348,14 +516,18 @@ SweepEngine::run(const ScenarioGrid &grid) const
                 have = stealFrom(arenas[(self + v) % threads], chunk);
             if (!have)
                 return; // no producer: empty everywhere means done
+            buf.clear();
+            buf.reserve(chunk.last - chunk.first);
             for (std::size_t i = chunk.first; i < chunk.last; ++i) {
                 const Scenario &sc = jobs[i];
-                mine.outcomes.push_back(runScenario(
+                buf.push_back(runScenario(
                     grid, sc,
                     mine.unitFor(grid, sc.mappingIndex,
                                  opts_.engine),
-                    &mine.deliveries));
+                    &mine.deliveries, &mine.backends));
             }
+            flush.push(chunk.first, std::move(buf));
+            buf = {};
         }
     };
 
@@ -368,22 +540,27 @@ SweepEngine::run(const ScenarioGrid &grid) const
             pool.emplace_back(work, i);
     }
 
-    // Deterministic merge: outcomes carry their job index, so the
-    // sorted result is independent of which worker ran what.
-    report.outcomes.reserve(jobs.size());
-    for (auto &arena : arenas) {
-        report.outcomes.insert(report.outcomes.end(),
-                               arena.outcomes.begin(),
-                               arena.outcomes.end());
+    cfva_assert(flush.delivered() == lastJob,
+                "sweep lost jobs: delivered up to ",
+                flush.delivered(), " of [", firstJob, ", ", lastJob,
+                ")");
+    sink.end();
+
+    run.peakPendingOutcomes = flush.peakPending();
+    for (const auto &arena : arenas) {
+        run.backendCacheHits += arena.backends.stats().hits;
+        run.backendCacheMisses += arena.backends.stats().misses;
     }
-    std::sort(report.outcomes.begin(), report.outcomes.end(),
-              [](const ScenarioOutcome &a, const ScenarioOutcome &b) {
-                  return a.index < b.index;
-              });
-    cfva_assert(report.outcomes.size() == jobs.size(),
-                "sweep lost jobs: ", report.outcomes.size(), " of ",
-                jobs.size());
-    return report;
+    if (stats)
+        *stats = run;
+}
+
+SweepReport
+SweepEngine::run(const ScenarioGrid &grid, SweepRunStats *stats) const
+{
+    ReportSink sink;
+    runToSink(grid, sink, stats);
+    return sink.take();
 }
 
 } // namespace cfva::sim

@@ -2,14 +2,18 @@
  * @file
  * SweepEngine: batch execution of conflict-free access scenarios.
  *
- * The north-star workloads evaluate mapping designs over thousands
- * of (mapping x stride x length x start x ports) points, not one
+ * The north-star workloads evaluate mapping designs over enormous
+ * (mapping x stride x length x start x ports) grids, not one
  * configuration at a time.  The engine expands a ScenarioGrid into
- * independent jobs, runs them on a work-stealing pool of
- * std::jthread workers — each with a private arena holding its unit
- * cache and result buffer, so workers never share mutable state on
- * the hot path — and merges the arenas into a SweepReport whose
- * contents are identical at any thread count.
+ * independent jobs, optionally narrows them to one deterministic
+ * shard of N (ShardSpec — the unit of multi-process scale-out),
+ * runs them on a work-stealing pool of std::jthread workers — each
+ * with a private arena holding its unit cache, backend cache, and
+ * delivery recycler, so workers never share mutable state on the
+ * hot path — and streams the outcomes in job order through a
+ * SweepSink (sim/sweep_sink.h).  run() is the materializing
+ * convenience over runToSink(); both produce results identical at
+ * any thread count, grain, and shard split.
  */
 
 #ifndef CFVA_SIM_SWEEP_ENGINE_H
@@ -19,6 +23,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bits.h"
@@ -27,6 +32,8 @@
 #include "sim/scenario.h"
 
 namespace cfva::sim {
+
+class SweepSink;
 
 /** Measured outcome of one scenario. */
 struct ScenarioOutcome
@@ -111,6 +118,14 @@ struct SweepReport
     /** Per-mapping summary table. */
     TextTable summaryTable() const;
 
+    /**
+     * Replays the materialized outcomes through @p sink
+     * (begin/consume.../end).  writeCsv and writeJson are this
+     * plus the matching stream sink, which is what makes streamed
+     * and materialized output byte-identical by construction.
+     */
+    void stream(SweepSink &sink) const;
+
     /** CSV of the per-scenario table. */
     void writeCsv(std::ostream &os) const;
 
@@ -120,14 +135,83 @@ struct SweepReport
     bool operator==(const SweepReport &o) const = default;
 };
 
+/** Renders per-mapping summary rows (shared by SweepReport and
+ *  SummarySink so both emit the same table). */
+TextTable mappingSummaryTable(const std::vector<MappingSummary> &rows);
+
+/**
+ * One deterministic slice of a grid's job list: shard index of
+ * count, covering jobs [floor(i*J/N), floor((i+1)*J/N)).  Shards
+ * are disjoint, cover every job, and are contiguous in job order —
+ * so concatenating the N shard outputs reproduces the unsharded
+ * report bit for bit (tools/cfva_merge does exactly that).
+ */
+struct ShardSpec
+{
+    std::size_t index = 0; //!< 0-based shard id
+    std::size_t count = 1; //!< total shards; 1 = the whole grid
+
+    /** Panics unless 0 <= index < count. */
+    void validate() const;
+
+    /** The [first, last) job slice of this shard over @p jobs. */
+    std::pair<std::size_t, std::size_t>
+    sliceOf(std::size_t jobs) const;
+
+    bool operator==(const ShardSpec &o) const = default;
+};
+
+/** Observability counters filled by one run (not part of report
+ *  identity: they legitimately vary with threads/grain/shard). */
+struct SweepRunStats
+{
+    std::size_t jobs = 0;    //!< jobs this run executed (its slice)
+    unsigned threads = 0;    //!< workers actually started
+    std::size_t grain = 0;   //!< effective jobs per chunk
+    std::size_t chunks = 0;  //!< work items distributed
+
+    /** Backend-cache hits/misses summed over all workers: misses
+     *  count backend constructions, hits count reuses — the
+     *  per-access setup cost the cache eliminated. */
+    std::uint64_t backendCacheHits = 0;
+    std::uint64_t backendCacheMisses = 0;
+
+    /** High-water mark of outcomes parked in the ordered flush
+     *  queue, and the admission window that bounds it — the
+     *  streaming-mode peak memory is O(window), not O(jobs). */
+    std::size_t peakPendingOutcomes = 0;
+    std::size_t pendingWindow = 0;
+};
+
 /** Engine tuning knobs. */
 struct SweepOptions
 {
+    /** Adaptive grain targets about this many chunks per worker —
+     *  enough slack for stealing to balance uneven scenarios
+     *  without shrinking chunks into scheduling overhead. */
+    static constexpr std::size_t kChunksPerThread = 8;
+
+    /** Adaptive grain ceiling: chunks stay small enough that the
+     *  ordered flush window (O(threads x grain)) keeps streaming
+     *  memory flat even on huge grids. */
+    static constexpr std::size_t kMaxAdaptiveGrain = 256;
+
     /** Worker threads; 0 means std::thread::hardware_concurrency. */
     unsigned threads = 0;
 
-    /** Scenarios per work item (stealing granularity). */
-    std::size_t grain = 8;
+    /**
+     * Scenarios per work item (stealing granularity).  0 — the
+     * default — sizes the grain adaptively from the job count and
+     * worker count (target ~kChunksPerThread chunks per worker,
+     * clamped to [1, kMaxAdaptiveGrain]); the report is identical
+     * at any grain, so the knob only trades balance vs overhead.
+     */
+    std::size_t grain = 0;
+
+    /** Which shard of the grid this run executes; the default is
+     *  the whole grid.  Sharded runs emit disjoint, contiguous job
+     *  ranges that merge back into the unsharded report. */
+    ShardSpec shard;
 
     /**
      * When set, overrides the simulation engine of every mapping
@@ -138,6 +222,15 @@ struct SweepOptions
      * to the matching port-aware backend.
      */
     std::optional<EngineKind> engine;
+
+    /** Panics on an impossible shard spec.  Any grain (including
+     *  0 = adaptive) and any thread count are valid. */
+    void validate() const;
+
+    /** The grain a run over @p jobs on @p threads workers uses:
+     *  this->grain when set, the adaptive size otherwise. */
+    std::size_t effectiveGrain(std::size_t jobs,
+                               unsigned threads) const;
 };
 
 /**
@@ -150,11 +243,28 @@ class SweepEngine
     explicit SweepEngine(SweepOptions opts = {});
 
     /**
-     * Expands @p grid and simulates every job.  Invalid mapping
-     * configurations fail fast through validate() before any
-     * worker starts.
+     * Expands @p grid and simulates every job of this run's shard,
+     * materializing the outcomes into a SweepReport (a ReportSink
+     * over runToSink).  Invalid mapping configurations fail fast
+     * through validate() before any worker starts.  When @p stats
+     * is given, the run's observability counters are written to it.
      */
-    SweepReport run(const ScenarioGrid &grid) const;
+    SweepReport run(const ScenarioGrid &grid,
+                    SweepRunStats *stats = nullptr) const;
+
+    /**
+     * The streaming core: expands @p grid, narrows to this run's
+     * shard, simulates every job on the worker pool, and feeds the
+     * outcomes to @p sink in strictly increasing job-index order.
+     * Workers push completed chunks into an ordered flush queue
+     * whose admission window bounds the outcomes in flight to
+     * O(threads x grain); a worker that runs far ahead of the
+     * lowest unfinished chunk waits, so streamed output is
+     * byte-identical to the materialized report at any thread
+     * count while peak memory stays flat.
+     */
+    void runToSink(const ScenarioGrid &grid, SweepSink &sink,
+                   SweepRunStats *stats = nullptr) const;
 
     /**
      * Simulates one scenario on @p unit (the unit built from the
@@ -163,12 +273,15 @@ class SweepEngine
      * direct simulation.  When @p arena is given, delivery buffers
      * are recycled through it (the engine passes each worker's
      * arena; records are released back once the outcome scalars
-     * are extracted).
+     * are extracted).  When @p cache is given, the memory backend
+     * is reused from it instead of rebuilt for this access (the
+     * engine passes each worker's cache).
      */
     static ScenarioOutcome runScenario(const ScenarioGrid &grid,
                                        const Scenario &sc,
                                        const VectorAccessUnit &unit,
-                                       DeliveryArena *arena = nullptr);
+                                       DeliveryArena *arena = nullptr,
+                                       BackendCache *cache = nullptr);
 
     const SweepOptions &options() const { return opts_; }
 

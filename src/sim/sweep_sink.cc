@@ -1,0 +1,151 @@
+#include "sim/sweep_sink.h"
+
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace cfva::sim {
+
+void
+ReportSink::begin(const SweepContext &ctx)
+{
+    report_.mappingLabels = ctx.mappingLabels;
+    report_.portMixLabels = ctx.portMixLabels;
+    report_.outcomes.reserve(ctx.lastJob - ctx.firstJob);
+}
+
+void
+ReportSink::consume(const ScenarioOutcome &outcome)
+{
+    report_.outcomes.push_back(outcome);
+}
+
+void
+CsvStreamSink::begin(const SweepContext &ctx)
+{
+    ctx_ = ctx;
+    os_ << "job,mapping,stride,family,length,a1,ports,port_mix,"
+           "latency,min_latency,stalls,conflict_free,in_window,"
+           "efficiency\n";
+}
+
+void
+CsvStreamSink::consume(const ScenarioOutcome &o)
+{
+    cfva_assert(o.mappingIndex < ctx_.mappingLabels.size()
+                    && o.portMixIndex < ctx_.portMixLabels.size(),
+                "outcome ", o.index, " references unknown labels");
+    os_ << o.index << ',' << ctx_.mappingLabels[o.mappingIndex] << ','
+        << o.stride << ',' << o.family << ',' << o.length << ','
+        << o.a1 << ',' << o.ports << ','
+        << ctx_.portMixLabels[o.portMixIndex] << ',' << o.latency
+        << ',' << o.minLatency << ',' << o.stallCycles << ','
+        << (o.conflictFree ? 1 : 0) << ',' << (o.inWindow ? 1 : 0)
+        << ',' << fixed(o.efficiency(), 4) << "\n";
+}
+
+void
+JsonStreamSink::begin(const SweepContext &ctx)
+{
+    ctx_ = ctx;
+    first_ = true;
+    os_ << "[";
+}
+
+void
+JsonStreamSink::consume(const ScenarioOutcome &o)
+{
+    cfva_assert(o.mappingIndex < ctx_.mappingLabels.size()
+                    && o.portMixIndex < ctx_.portMixLabels.size(),
+                "outcome ", o.index, " references unknown labels");
+    os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    os_ << "  {\"job\": " << o.index << ", \"mapping\": \""
+        << ctx_.mappingLabels[o.mappingIndex] << "\", \"stride\": "
+        << o.stride << ", \"family\": " << o.family
+        << ", \"length\": " << o.length << ", \"a1\": " << o.a1
+        << ", \"ports\": " << o.ports << ", \"port_mix\": \""
+        << ctx_.portMixLabels[o.portMixIndex] << "\", \"latency\": "
+        << o.latency << ", \"min_latency\": " << o.minLatency
+        << ", \"stalls\": " << o.stallCycles << ", \"conflict_free\": "
+        << (o.conflictFree ? "true" : "false") << ", \"in_window\": "
+        << (o.inWindow ? "true" : "false") << ", \"efficiency\": "
+        << fixed(o.efficiency(), 6) << "}";
+}
+
+void
+JsonStreamSink::end()
+{
+    os_ << "\n]\n";
+}
+
+void
+SummarySink::begin(const SweepContext &ctx)
+{
+    rows_.assign(ctx.mappingLabels.size(), MappingSummary{});
+    effSum_.assign(ctx.mappingLabels.size(), 0.0);
+    for (std::size_t i = 0; i < ctx.mappingLabels.size(); ++i)
+        rows_[i].label = ctx.mappingLabels[i];
+    jobs_ = 0;
+    conflictFree_ = 0;
+    totalLatency_ = 0;
+}
+
+void
+SummarySink::consume(const ScenarioOutcome &o)
+{
+    cfva_assert(o.mappingIndex < rows_.size(),
+                "outcome references unknown mapping ", o.mappingIndex);
+    auto &r = rows_[o.mappingIndex];
+    ++r.jobs;
+    r.conflictFree += o.conflictFree ? 1 : 0;
+    r.totalLatency += o.latency;
+    r.totalMinLatency += o.minLatency;
+    r.totalStalls += o.stallCycles;
+    effSum_[o.mappingIndex] += o.efficiency();
+    ++jobs_;
+    conflictFree_ += o.conflictFree ? 1 : 0;
+    totalLatency_ += o.latency;
+}
+
+std::vector<MappingSummary>
+SummarySink::perMapping() const
+{
+    std::vector<MappingSummary> rows = rows_;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        rows[i].meanEfficiency =
+            rows[i].jobs
+                ? effSum_[i] / static_cast<double>(rows[i].jobs)
+                : 0.0;
+    }
+    return rows;
+}
+
+TextTable
+SummarySink::summaryTable() const
+{
+    return mappingSummaryTable(perMapping());
+}
+
+void
+TeeSink::begin(const SweepContext &ctx)
+{
+    for (SweepSink *s : sinks_)
+        s->begin(ctx);
+}
+
+void
+TeeSink::consume(const ScenarioOutcome &outcome)
+{
+    for (SweepSink *s : sinks_)
+        s->consume(outcome);
+}
+
+void
+TeeSink::end()
+{
+    for (SweepSink *s : sinks_)
+        s->end();
+}
+
+} // namespace cfva::sim

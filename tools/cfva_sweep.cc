@@ -5,9 +5,14 @@
  *
  * Builds a ScenarioGrid from the options below, runs it on the
  * SweepEngine, and prints a per-mapping summary (optionally the
- * full per-scenario table as CSV/JSON).  --bench times the same
- * grid at several thread counts and reports the speedup, which is
- * how the batching path is validated.
+ * full per-scenario table as CSV/JSON).  --shard I/N restricts the
+ * run to the i-th of N deterministic, disjoint job slices (combine
+ * the outputs with cfva_merge); --stream pipes outcomes straight
+ * through the CSV/JSON sinks so peak memory stays O(threads x
+ * grain) instead of O(jobs).  --bench times the same grid at
+ * several thread counts, reports the speedup and the backend-cache
+ * effect, and drops a machine-readable BENCH_sweep.json so the
+ * perf trajectory is tracked across PRs.
  */
 
 #include <chrono>
@@ -16,12 +21,14 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cfva/cfva.h"
 #include "common/logging.h"
+#include "sim/sweep_sink.h"
 
 using namespace cfva;
 
@@ -67,12 +74,23 @@ usage(std::ostream &os)
           "                     reports bit for bit, and exits\n"
           "                     non-zero on any mismatch\n"
           "  --threads N        worker threads (0 = all cores)\n"
-          "  --grain N          jobs per work item (default 8)\n"
+          "  --grain N          jobs per work item (0 = adaptive,\n"
+          "                     the default: ~8 chunks per worker)\n"
+          "  --shard I/N        run only the i-th (0-based) of N\n"
+          "                     deterministic disjoint job slices;\n"
+          "                     merge shard outputs with cfva_merge\n"
+          "  --stream           stream CSV/JSON while the sweep\n"
+          "                     runs (peak memory O(threads x\n"
+          "                     grain), byte-identical output);\n"
+          "                     incompatible with --engine both\n"
           "  --csv FILE         per-scenario CSV ('-' = stdout)\n"
           "  --json FILE        per-scenario JSON ('-' = stdout)\n"
           "  --no-summary       skip the summary table\n"
           "  --bench T1,T2,...  time the grid at each thread count\n"
           "                     (x each engine with --engine both)\n"
+          "  --bench-json FILE  machine-readable --bench results\n"
+          "                     (default BENCH_sweep.json; 'none'\n"
+          "                     disables)\n"
           "  --help\n";
 }
 
@@ -235,6 +253,24 @@ openSink(const std::string &path, std::ofstream &file)
     return &file;
 }
 
+/** Parses "I/N" into a 0-based shard spec. */
+sim::ShardSpec
+parseShard(const std::string &arg)
+{
+    const auto slash = arg.find('/');
+    if (slash == std::string::npos || slash == 0
+        || slash + 1 >= arg.size()) {
+        cfva_fatal("--shard wants I/N (0-based), got: ", arg);
+    }
+    sim::ShardSpec shard;
+    shard.index = parseU64(arg.substr(0, slash), "--shard index");
+    shard.count = parseU64(arg.substr(slash + 1), "--shard count");
+    if (shard.count == 0 || shard.index >= shard.count)
+        cfva_fatal("--shard index must satisfy 0 <= I < N, got: ",
+                   arg);
+    return shard;
+}
+
 struct Options
 {
     std::vector<std::string> kinds = {"matched", "sectioned"};
@@ -253,12 +289,15 @@ struct Options
     std::uint64_t seed = 0x5EEDF00Dull;
 
     unsigned threads = 0;
-    std::size_t grain = 8;
+    std::size_t grain = 0; // 0 = adaptive
+    sim::ShardSpec shard;
+    bool stream = false;
     std::vector<EngineKind> engines = {EngineKind::PerCycle};
     std::string csvPath;
     std::string jsonPath;
     bool summary = true;
     std::vector<std::uint64_t> benchThreads;
+    std::string benchJsonPath = "BENCH_sweep.json";
 };
 
 Options
@@ -314,8 +353,12 @@ parseArgs(int argc, char **argv)
                                  "--threads");
         } else if (a == "--grain") {
             o.grain = parseU64(need(i, "--grain"), "--grain");
-            if (o.grain == 0)
-                cfva_fatal("--grain must be positive");
+        } else if (a == "--shard") {
+            o.shard = parseShard(need(i, "--shard"));
+        } else if (a == "--stream") {
+            o.stream = true;
+        } else if (a == "--bench-json") {
+            o.benchJsonPath = need(i, "--bench-json");
         } else if (a == "--csv") {
             o.csvPath = need(i, "--csv");
         } else if (a == "--json") {
@@ -411,12 +454,58 @@ buildGrid(const Options &o)
 
 double
 timedRun(const sim::SweepEngine &engine,
-         const sim::ScenarioGrid &grid, sim::SweepReport &report)
+         const sim::ScenarioGrid &grid, sim::SweepReport &report,
+         sim::SweepRunStats *stats = nullptr)
 {
     const auto start = std::chrono::steady_clock::now();
-    report = engine.run(grid);
+    report = engine.run(grid, stats);
     const auto stop = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(stop - start).count();
+}
+
+/** One timed --bench row, kept for the BENCH_sweep.json emission. */
+struct BenchRun
+{
+    EngineKind engine = EngineKind::PerCycle;
+    std::uint64_t threads = 0;
+    double seconds = 0.0;
+    double scenariosPerSec = 0.0;
+    double speedup = 0.0;
+    sim::SweepRunStats stats;
+};
+
+void
+writeBenchJson(const std::string &path, const Options &o,
+               const sim::ScenarioGrid &grid,
+               const std::vector<BenchRun> &runs, bool identical)
+{
+    if (path == "none")
+        return;
+    std::ofstream out(path);
+    if (!out)
+        cfva_fatal("cannot open ", path, " for writing");
+    out << "{\n  \"grid_jobs\": " << grid.jobCount()
+        << ",\n  \"shard\": \"" << o.shard.index << "/"
+        << o.shard.count << "\",\n  \"grain\": " << o.grain
+        << ",\n  \"reports_identical\": "
+        << (identical ? "true" : "false") << ",\n  \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const BenchRun &r = runs[i];
+        out << (i ? ",\n" : "\n") << "    {\"engine\": \""
+            << to_string(r.engine) << "\", \"threads\": "
+            << r.threads << ", \"seconds\": " << fixed(r.seconds, 6)
+            << ", \"scenarios_per_s\": "
+            << fixed(r.scenariosPerSec, 0) << ", \"speedup\": "
+            << fixed(r.speedup, 3) << ", \"effective_grain\": "
+            << r.stats.grain << ", \"chunks\": " << r.stats.chunks
+            << ", \"backend_cache_hits\": "
+            << r.stats.backendCacheHits
+            << ", \"backend_cache_misses\": "
+            << r.stats.backendCacheMisses
+            << ", \"peak_pending_outcomes\": "
+            << r.stats.peakPendingOutcomes << "}";
+    }
+    out << "\n  ]\n}\n";
 }
 
 } // namespace
@@ -441,6 +530,19 @@ main(int argc, char **argv)
               << " starts x " << grid.ports.size() << " ports x "
               << grid.portMixes.size() << " mixes = "
               << grid.jobCount() << " scenarios\n";
+    if (o.shard.count > 1) {
+        const auto [first, last] = o.shard.sliceOf(grid.jobCount());
+        info << "shard: " << o.shard.index << "/" << o.shard.count
+             << " covering jobs [" << first << ", " << last
+             << ") = " << (last - first) << " scenarios\n";
+    }
+    if (o.stream && o.engines.size() > 1)
+        cfva_fatal("--stream cannot cross-check: the comparison "
+                   "needs the materialized reports (drop --stream "
+                   "or pick one engine)");
+    if (o.stream && !o.benchThreads.empty())
+        cfva_fatal("--bench times materialized runs; it cannot "
+                   "honor --stream (drop one of the two)");
 
     std::string engineNames = to_string(o.engines.front());
     for (std::size_t e = 1; e < o.engines.size(); ++e)
@@ -449,10 +551,11 @@ main(int argc, char **argv)
 
     if (!o.benchThreads.empty()) {
         TextTable t({"engine", "threads", "seconds", "scenarios/s",
-                     "speedup"});
+                     "speedup", "cache hits", "cache misses"});
         double base = 0.0;
         sim::SweepReport first;
         bool allIdentical = true;
+        std::vector<BenchRun> runs;
         {
             // Discarded warm-up run so one-time costs (page
             // faults, allocator growth) don't skew the baseline.
@@ -460,6 +563,7 @@ main(int argc, char **argv)
             warm.threads =
                 static_cast<unsigned>(o.benchThreads.front());
             warm.grain = o.grain;
+            warm.shard = o.shard;
             warm.engine = o.engines.front();
             sim::SweepReport scratch;
             timedRun(sim::SweepEngine(warm), grid, scratch);
@@ -470,10 +574,12 @@ main(int argc, char **argv)
                 sim::SweepOptions opts;
                 opts.threads = static_cast<unsigned>(threads);
                 opts.grain = o.grain;
+                opts.shard = o.shard;
                 opts.engine = engine;
                 sim::SweepReport report;
-                const double secs =
-                    timedRun(sim::SweepEngine(opts), grid, report);
+                sim::SweepRunStats stats;
+                const double secs = timedRun(sim::SweepEngine(opts),
+                                             grid, report, &stats);
                 if (!haveBase) {
                     base = secs;
                     first = report;
@@ -481,10 +587,19 @@ main(int argc, char **argv)
                 } else {
                     allIdentical &= report == first;
                 }
+                BenchRun row;
+                row.engine = engine;
+                row.threads = threads;
+                row.seconds = secs;
+                row.scenariosPerSec =
+                    static_cast<double>(report.jobs()) / secs;
+                row.speedup = base / secs;
+                row.stats = stats;
+                runs.push_back(row);
                 t.row(to_string(engine), threads, fixed(secs, 3),
-                      fixed(static_cast<double>(report.jobs()) / secs,
-                            0),
-                      fixed(base / secs, 2));
+                      fixed(row.scenariosPerSec, 0),
+                      fixed(row.speedup, 2), stats.backendCacheHits,
+                      stats.backendCacheMisses);
             }
         }
         t.print(info, "SweepEngine scaling [engine: " + engineNames
@@ -494,6 +609,26 @@ main(int argc, char **argv)
                        "and engines\n"
                      : "REPORT MISMATCH across thread counts or "
                        "engines\n");
+        if (!runs.empty()) {
+            // The backend cache turns all but the first touch of
+            // each (engine, mapping) per worker into reuse; the
+            // hit fraction is the setup cost removed at large M.
+            const auto &s = runs.front().stats;
+            info << "backend cache: " << s.backendCacheHits
+                 << " hits / " << s.backendCacheMisses
+                 << " misses ("
+                 << fixed(s.backendCacheHits + s.backendCacheMisses
+                              ? 100.0
+                                    * static_cast<double>(
+                                        s.backendCacheHits)
+                                    / static_cast<double>(
+                                        s.backendCacheHits
+                                        + s.backendCacheMisses)
+                              : 0.0,
+                          1)
+                 << "% of backend lookups reused)\n";
+        }
+        writeBenchJson(o.benchJsonPath, o, grid, runs, allIdentical);
         if (!o.csvPath.empty()) {
             std::ofstream file;
             first.writeCsv(*openSink(o.csvPath, file));
@@ -505,9 +640,64 @@ main(int argc, char **argv)
         return allIdentical ? 0 : 1;
     }
 
+    if (o.stream) {
+        // Streaming mode: outcomes flow straight through the
+        // CSV/JSON sinks (and an O(1)-memory summary accumulator)
+        // in job order; nothing is materialized.  Exactly one
+        // engine runs here (checked above).
+        sim::SweepOptions opts;
+        opts.threads = o.threads;
+        opts.grain = o.grain;
+        opts.shard = o.shard;
+        opts.engine = o.engines.front();
+
+        std::ofstream csvFile, jsonFile;
+        std::optional<sim::CsvStreamSink> csvSink;
+        std::optional<sim::JsonStreamSink> jsonSink;
+        std::vector<sim::SweepSink *> sinks;
+        if (!o.csvPath.empty()) {
+            csvSink.emplace(*openSink(o.csvPath, csvFile));
+            sinks.push_back(&*csvSink);
+        }
+        if (!o.jsonPath.empty()) {
+            jsonSink.emplace(*openSink(o.jsonPath, jsonFile));
+            sinks.push_back(&*jsonSink);
+        }
+        sim::SummarySink summary;
+        if (o.summary)
+            sinks.push_back(&summary);
+        sim::TeeSink tee(std::move(sinks));
+
+        sim::SweepRunStats stats;
+        const auto start = std::chrono::steady_clock::now();
+        sim::SweepEngine(opts).runToSink(grid, tee, &stats);
+        const auto stop = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(stop - start).count();
+
+        if (o.summary) {
+            info << to_string(o.engines.front()) << ": "
+                 << stats.jobs << " scenarios streamed in "
+                 << fixed(secs, 3) << " s ("
+                 << fixed(static_cast<double>(stats.jobs) / secs, 0)
+                 << " scenarios/s, peak "
+                 << stats.peakPendingOutcomes
+                 << " outcomes in flight, window "
+                 << stats.pendingWindow << ")\n";
+            summary.summaryTable().print(info, "Sweep summary");
+            info << summary.conflictFreeJobs() << " of "
+                 << summary.jobs() << " scenarios conflict free\n";
+            info << "backend cache: " << stats.backendCacheHits
+                 << " hits / " << stats.backendCacheMisses
+                 << " misses\n";
+        }
+        return 0;
+    }
+
     // One timed run per requested engine; with --engine both the
     // second report is cross-checked bit for bit against the first.
     sim::SweepReport report;
+    sim::SweepRunStats firstStats;
     bool crossChecked = false;
     bool crossIdentical = true;
     double firstSecs = 0.0;
@@ -515,9 +705,12 @@ main(int argc, char **argv)
         sim::SweepOptions opts;
         opts.threads = o.threads;
         opts.grain = o.grain;
+        opts.shard = o.shard;
         opts.engine = o.engines[e];
         sim::SweepReport r;
-        const double secs = timedRun(sim::SweepEngine(opts), grid, r);
+        sim::SweepRunStats stats;
+        const double secs =
+            timedRun(sim::SweepEngine(opts), grid, r, &stats);
         if (o.summary) {
             info << to_string(o.engines[e]) << ": " << r.jobs()
                  << " scenarios in " << fixed(secs, 3) << " s ("
@@ -531,6 +724,7 @@ main(int argc, char **argv)
         if (e == 0) {
             report = std::move(r);
             firstSecs = secs;
+            firstStats = stats;
         } else {
             crossChecked = true;
             crossIdentical &= r == report;
@@ -541,6 +735,9 @@ main(int argc, char **argv)
         report.summaryTable().print(info, "Sweep summary");
         info << report.conflictFreeJobs() << " of " << report.jobs()
              << " scenarios conflict free\n";
+        info << "backend cache: " << firstStats.backendCacheHits
+             << " hits / " << firstStats.backendCacheMisses
+             << " misses\n";
     }
     if (crossChecked) {
         info << (crossIdentical
