@@ -7,6 +7,13 @@
  * chains perfectly: total time lastDelivery + 1 + pipeline drain,
  * saving ~L cycles over the decoupled mode.  Out-of-window strides
  * return erratically and cannot commit to a chain schedule.
+ *
+ * Runs on the SweepEngine batching path (the PR 3 bench_multi_vector
+ * treatment): the stride set becomes a chain-workload ScenarioGrid
+ * executed under BOTH engines through runToSink, the reports are
+ * cross-checked bit for bit, and the table below is rendered from
+ * the sweep outcomes.  The delivery-order precondition is still
+ * audited against the unit directly.
  */
 
 #include <iostream>
@@ -15,6 +22,8 @@
 #include "common/table.h"
 #include "core/access_unit.h"
 #include "core/chaining.h"
+#include "sim/sweep_engine.h"
+#include "sim/sweep_sink.h"
 
 using namespace cfva;
 
@@ -23,40 +32,77 @@ main()
 {
     bench::Audit audit("E11 / Sec. 5F: LOAD/EXECUTE chaining");
 
-    const VectorAccessUnit unit(paperMatchedExample());
     const std::uint64_t len = 128;
     const Cycle exec_latency = 4;
 
-    TextTable table({"stride", "x", "chainable", "load done",
-                     "decoupled", "chained", "saved"});
+    // The E11 grid: the paper's matched system, the historical
+    // stride set, one chain workload at pipeline depth 4.
+    sim::ScenarioGrid grid;
+    grid.mappings = {paperMatchedExample()};
+    grid.strides = {1, 2, 12, 16, 32};
+    grid.starts = {7};
+    grid.randomStarts = 0;
+    sim::Workload chain;
+    chain.kind = sim::WorkloadKind::Chain;
+    chain.execLatency = exec_latency;
+    grid.workloads = {chain};
+
+    sim::SweepOptions per_cycle;
+    per_cycle.engine = EngineKind::PerCycle;
+    sim::SweepOptions event;
+    event.engine = EngineKind::EventDriven;
+    const sim::SweepReport oracle =
+        sim::SweepEngine(per_cycle).run(grid);
+    const sim::SweepReport fast = sim::SweepEngine(event).run(grid);
+
+    audit.check("event-driven chain-workload sweep bit-identical "
+                "to the per-cycle oracle",
+                fast == oracle);
+
+    const VectorAccessUnit unit(paperMatchedExample());
+
+    TextTable table({"stride", "x", "chainable", "load", "decoupled",
+                     "chained", "saved"});
     bool in_window_chain_ok = true;
-    for (std::uint64_t sv : {1ull, 2ull, 12ull, 16ull, 32ull}) {
-        const Stride s(sv);
-        const auto r = unit.access(7, s, len);
-        const auto rep = chainingModel(r, exec_latency);
-        table.row(sv, s.family(), rep.chainable ? "yes" : "no",
-                  rep.loadDone, rep.decoupledTotal, rep.chainedTotal,
-                  rep.saved());
-        if (unit.inWindow(s)) {
-            in_window_chain_ok &= rep.chainable;
-            // Perfect chain: last operand issues the cycle after
-            // the last delivery.
+    for (const auto &o : oracle.outcomes) {
+        table.row(o.stride, o.family, o.chainable ? "yes" : "no",
+                  o.latency, o.decoupledCycles, o.chainedCycles,
+                  o.chainSaved());
+        if (o.inWindow) {
+            in_window_chain_ok &= o.chainable;
+            // Perfect chain: only the pipeline drain survives past
+            // the load (chained total = load latency + drain).
             in_window_chain_ok &=
-                rep.chainedTotal == rep.loadDone + 1 + exec_latency;
-            in_window_chain_ok &= rep.saved() == len - 1;
+                o.chainedCycles == o.latency + exec_latency;
+            in_window_chain_ok &= o.chainSaved() == len - 1;
         }
     }
     table.print(std::cout,
-                "Chaining on the matched paper system (exec "
-                "pipeline depth 4)");
+                "Chaining on the matched paper system [sweep, both "
+                "engines] (exec pipeline depth 4)");
 
     audit.check("every in-window stride chains perfectly "
                 "(saves L-1 = 127 cycles)", in_window_chain_ok);
 
-    const auto r_out = unit.access(7, Stride(32), len);
-    const auto rep_out = chainingModel(r_out, exec_latency);
+    const auto out_of_window = oracle.outcomes.back();
     audit.check("out-of-window stride flagged not chainable",
-                !rep_out.chainable);
+                out_of_window.stride == 32
+                    && !out_of_window.chainable);
+
+    // The sweep's chain totals must agree with the direct Sec. 5F
+    // model on the unit — the single source both derive from.
+    const auto r12 = unit.access(7, Stride(12), len);
+    const auto rep12 = chainingModel(r12, exec_latency);
+    bool model_agrees = false;
+    for (const auto &o : oracle.outcomes) {
+        if (o.stride == 12) {
+            model_agrees = o.decoupledCycles == rep12.decoupledTotal
+                           && o.chainedCycles == rep12.chainedTotal
+                           && o.chainable == rep12.chainable;
+        }
+    }
+    audit.check("sweep chain totals equal chainingModel on the "
+                "unit", model_agrees);
 
     // Deterministic order requirement: the delivery order of a
     // conflict-free access equals the issue order of its plan.

@@ -49,6 +49,8 @@ struct MixResult
     std::uint64_t elements = 0;
     std::uint64_t cf_accesses = 0;
     std::uint64_t accesses = 0;
+    std::uint64_t chained_ops = 0;
+    Cycle chain_saved = 0;
 
     double
     cyclesPerElement() const
@@ -58,11 +60,13 @@ struct MixResult
     }
 };
 
-/** Runs the kernel mix on one configuration. */
+/** Runs the kernel mix on one configuration, optionally with
+ *  LOAD/EXECUTE chaining enabled on the vproc stack. */
 MixResult
-runMix(const VectorUnitConfig &cfg)
+runMix(const VectorUnitConfig &cfg, bool chaining = false)
 {
     VectorProcessor proc(cfg);
+    proc.enableChaining(chaining);
     const std::uint64_t l = cfg.registerLength();
 
     for (std::uint64_t i = 0; i < kN; ++i) {
@@ -117,7 +121,43 @@ runMix(const VectorUnitConfig &cfg)
     r.elements = proc.stats().memoryElements;
     r.cf_accesses = proc.stats().conflictFreeAccesses;
     r.accesses = proc.stats().memoryAccesses;
+    r.chained_ops = proc.stats().chainedOps;
+    r.chain_saved = proc.stats().chainSavedCycles;
     return r;
+}
+
+/**
+ * The chaining half on the batching path: one kernel's consumed
+ * loads as a chain-workload batch streamed through runToSink,
+ * returning the total decoupled-vs-chained savings.  The sum over
+ * the mix's kernels must equal the end-to-end vproc difference.
+ */
+Cycle
+chainKernel(const VectorUnitConfig &cfg, std::uint64_t stride,
+            const std::vector<Addr> &bases, std::uint64_t length,
+            EngineKind engine)
+{
+    sim::ScenarioGrid grid;
+    grid.mappings = {cfg};
+    grid.strides = {stride};
+    grid.lengths = {length};
+    grid.starts = bases;
+    sim::Workload chain;
+    chain.kind = sim::WorkloadKind::Chain;
+    grid.workloads = {chain};
+
+    sim::SweepOptions opts;
+    opts.engine = engine;
+    opts.threads = 1;
+    sim::ReportSink sink;
+    sim::SweepEngine(opts).runToSink(grid, sink);
+    const sim::SweepReport report = sink.take();
+    cfva_assert(report.jobs() == bases.size(),
+                "chain batch lost jobs");
+    Cycle saved = 0;
+    for (const auto &o : report.outcomes)
+        saved += o.chainSaved();
+    return saved;
 }
 
 /** Per-config aggregates of the sweep-batched memory accesses. */
@@ -350,6 +390,44 @@ main()
                 "fraction ordering",
                 (sweep[0].cf < sweep[0].accesses)
                     == (r_low.cf_accesses < r_low.accesses));
+
+    // The chaining half, batched: every load of the mix that an
+    // arithmetic instruction consumes becomes one chain-workload
+    // job (kernel 1 chains on both the x and y loads), run through
+    // runToSink under both engines.  The batch's total savings
+    // must equal the end-to-end vproc chained-vs-decoupled
+    // difference exactly — the two layers share the Sec. 5F model.
+    std::vector<Addr> chain1_bases;
+    for (const auto &strip : stripMine(kN, l)) {
+        chain1_bases.push_back(kXBase + strip.firstElement);
+        chain1_bases.push_back(kYBase + strip.firstElement);
+    }
+    Cycle chain_saved_pc = 0, chain_saved_ev = 0;
+    for (EngineKind engine :
+         {EngineKind::PerCycle, EngineKind::EventDriven}) {
+        Cycle &saved = engine == EngineKind::PerCycle
+                           ? chain_saved_pc
+                           : chain_saved_ev;
+        saved += chainKernel(matched, 1, chain1_bases, l, engine);
+        saved += chainKernel(matched, 136, col_bases, l, engine);
+        saved += chainKernel(matched, 48, g_bases, l, engine);
+    }
+    const MixResult r_matched_chained = runMix(matched, true);
+    std::cout << "  chaining: " << r_matched_chained.chained_ops
+              << " chained ops save "
+              << r_matched.cycles - r_matched_chained.cycles
+              << " cycles end to end; batched chain workloads save "
+              << chain_saved_pc << "\n";
+    audit.check("chain-workload batches bit-identical across "
+                "engines",
+                chain_saved_pc == chain_saved_ev);
+    audit.check("batched chain savings equal the end-to-end vproc "
+                "chained-vs-decoupled difference",
+                chain_saved_pc
+                    == r_matched.cycles - r_matched_chained.cycles);
+    audit.check("vproc chain accounting agrees (chainSavedCycles)",
+                r_matched_chained.chain_saved
+                    == r_matched.cycles - r_matched_chained.cycles);
 
     return audit.finish();
 }

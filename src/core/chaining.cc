@@ -32,4 +32,19 @@ chainingModel(const AccessResult &result, Cycle execLatency)
     return report;
 }
 
+ChainCosts
+chainCosts(const AccessResult &load, Cycle execLatency)
+{
+    const ChainingReport report = chainingModel(load, execLatency);
+    // Totals are measured from the load's first issue; subtracting
+    // the cycle after the last delivery leaves the execute step's
+    // own contribution.
+    const Cycle loadEnd = load.lastDelivery + 1;
+    ChainCosts costs;
+    costs.decoupled = report.decoupledTotal - loadEnd;
+    costs.chained = report.chainedTotal - loadEnd;
+    costs.chainable = report.chainable;
+    return costs;
+}
+
 } // namespace cfva

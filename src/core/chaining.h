@@ -63,6 +63,37 @@ struct ChainingReport
 ChainingReport chainingModel(const AccessResult &result,
                              Cycle execLatency = 1);
 
+/**
+ * The EXECUTE step's cost *beyond the load's completion*, for
+ * composing program sequences: a program that runs accesses back to
+ * back totals sum(access latencies) + the execute extras below.
+ * Shared by the vector processor's chained arithmetic timing and
+ * the sweep engine's workload programs so both derive from the same
+ * Sec. 5F model of the load's delivery stream.
+ */
+struct ChainCosts
+{
+    /** Decoupled: issue all V operands after the load completes,
+     *  one per cycle, plus the pipeline drain: (V-1) + execLatency
+     *  extra cycles. */
+    Cycle decoupled = 0;
+
+    /** Chained: operands track deliveries one cycle behind; for a
+     *  conflict-free load only the execLatency drain remains. */
+    Cycle chained = 0;
+
+    /** The Sec. 5F precondition held (deterministic one-per-cycle
+     *  delivery). */
+    bool chainable = false;
+
+    /** Cycles chaining saves on this execute step. */
+    Cycle saved() const { return decoupled - chained; }
+};
+
+/** Derives the composable execute-step costs from the load's
+ *  simulated delivery stream (via chainingModel). */
+ChainCosts chainCosts(const AccessResult &load, Cycle execLatency = 1);
+
 } // namespace cfva
 
 #endif // CFVA_CORE_CHAINING_H

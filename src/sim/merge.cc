@@ -66,6 +66,53 @@ findJsonBody(std::istream &in, std::size_t index)
     return body;
 }
 
+/** Reads the first row line of @p body from the rewound stream. */
+std::string
+firstRowOf(std::istream &in, const JsonBody &body)
+{
+    in.clear();
+    in.seekg(body.first);
+    cfva_assert(static_cast<bool>(in),
+                "shard stream is not seekable");
+    std::string row;
+    std::getline(in, row);
+    // A single-row shard has no trailing newline inside the body;
+    // trim anything getline read past it (the closing bracket).
+    const std::streamoff span = body.last - body.first + 1;
+    if (static_cast<std::streamoff>(row.size()) > span)
+        row.resize(static_cast<std::size_t>(span));
+    return row;
+}
+
+/**
+ * The field-name sequence of one JSON row: every quoted string
+ * immediately followed by ':'.  Quoted *values* (mapping labels,
+ * port mixes, workload names) are skipped because they precede ','
+ * or '}' instead.
+ */
+std::string
+rowSchemaOf(const std::string &row)
+{
+    std::string schema;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i] != '"')
+            continue;
+        const std::size_t end = row.find('"', i + 1);
+        if (end == std::string::npos)
+            break;
+        std::size_t after = end + 1;
+        while (after < row.size() && row[after] == ' ')
+            ++after;
+        if (after < row.size() && row[after] == ':') {
+            if (!schema.empty())
+                schema += ',';
+            schema += row.substr(i + 1, end - i - 1);
+        }
+        i = end;
+    }
+    return schema;
+}
+
 /** Copies @p body of the rewound stream to @p out in chunks. */
 void
 copyRange(std::ostream &out, std::istream &in, const JsonBody &body)
@@ -105,9 +152,12 @@ mergeCsv(std::ostream &out, const std::vector<std::istream *> &shards)
             haveHeader = true;
             out << header << "\n";
         } else if (line != header) {
-            cfva_fatal("shard ", i, " header does not match shard 0 "
-                       "(were the shards produced from the same "
-                       "grid?)");
+            cfva_fatal("shard ", i, " CSV schema does not match "
+                       "shard 0 — refusing to concatenate mixed "
+                       "schemas.\n  shard 0 header: ", header,
+                       "\n  shard ", i, " header: ", line,
+                       "\nWere the shards produced by the same "
+                       "cfva_sweep build from the same grid?");
         }
         while (std::getline(*shards[i], line))
             out << line << "\n";
@@ -121,9 +171,12 @@ mergeJson(std::ostream &out,
     cfva_assert(!shards.empty(), "nothing to merge");
     out << "[";
     bool first = true;
+    std::string schema;
+    std::size_t schemaShard = 0;
     for (std::size_t i = 0; i < shards.size(); ++i) {
-        // Two streaming passes per shard — locate the rows, rewind,
-        // chunk-copy them — so merge memory stays O(1) however
+        // Streaming passes per shard — locate the rows, check the
+        // first row's field-name schema against the earlier shards,
+        // rewind, chunk-copy — so merge memory stays O(1) however
         // large a shard is (the rest of the pipeline is
         // O(threads x grain); the merge must not be the stage that
         // buffers a whole report).  The per-row indentation sits
@@ -132,6 +185,20 @@ mergeJson(std::ostream &out,
         const JsonBody body = findJsonBody(*shards[i], i);
         if (body.empty())
             continue; // empty shard: "[]" contributes no rows
+        const std::string rowSchema =
+            rowSchemaOf(firstRowOf(*shards[i], body));
+        if (schema.empty()) {
+            schema = rowSchema;
+            schemaShard = i;
+        } else if (rowSchema != schema) {
+            cfva_fatal("shard ", i, " JSON schema does not match "
+                       "shard ", schemaShard, " — refusing to "
+                       "splice mixed schemas.\n  shard ",
+                       schemaShard, " fields: ", schema,
+                       "\n  shard ", i, " fields: ", rowSchema,
+                       "\nWere the shards produced by the same "
+                       "cfva_sweep build from the same grid?");
+        }
         out << (first ? "\n" : ",\n");
         copyRange(out, *shards[i], body);
         first = false;

@@ -25,7 +25,11 @@ namespace cfva::sim {
 
 /**
  * Concatenates shard CSVs in shard order.  Every shard must carry
- * the same header line (fatal otherwise); only the first is kept.
+ * the same header line — mixed schemas (e.g. shards written by
+ * builds before and after a column was added) fail with a
+ * diagnostic naming both headers; only the first is kept.  The
+ * check compares headers verbatim, so it is forward-compatible
+ * with any future column set.
  */
 void mergeCsv(std::ostream &out,
               const std::vector<std::istream *> &shards);
@@ -33,7 +37,9 @@ void mergeCsv(std::ostream &out,
 /**
  * Splices shard JSON arrays into one array, preserving the
  * canonical writeJson byte layout.  Empty shards ("[]") contribute
- * nothing; a shard without an array is fatal.
+ * nothing; a shard without an array is fatal, and shards whose
+ * first row carries a different field-name schema than the earlier
+ * shards fail with a diagnostic naming both field lists.
  */
 void mergeJson(std::ostream &out,
                const std::vector<std::istream *> &shards);

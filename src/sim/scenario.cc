@@ -54,7 +54,7 @@ ScenarioGrid::jobCount() const
 {
     return mappings.size() * strides.size() * lengths.size()
            * (starts.size() + randomStarts) * ports.size()
-           * portMixes.size();
+           * portMixes.size() * workloads.size();
 }
 
 std::vector<Scenario>
@@ -71,6 +71,22 @@ ScenarioGrid::expand() const
                 "default-constructed PortMix clones the stride)");
     for (const auto &mix : portMixes)
         mix.validate();
+    cfva_assert(!workloads.empty(),
+                "the workload axis needs at least one workload (the "
+                "default-constructed Workload is a single access)");
+    for (const auto &wl : workloads) {
+        wl.validate();
+        if (wl.kind == WorkloadKind::Retune
+            || wl.kind == WorkloadKind::Stencil) {
+            // Both derive shifted/doubled strides from the base.
+            for (std::uint64_t s : strides) {
+                cfva_assert(s <= (~std::uint64_t{0} >> 2),
+                            "stride ", s, " overflows the ",
+                            to_string(wl.kind), " workload's "
+                            "derived strides");
+            }
+        }
+    }
 
     std::vector<Scenario> jobs;
     jobs.reserve(jobCount());
@@ -83,20 +99,24 @@ ScenarioGrid::expand() const
             for (std::uint64_t len : lengths) {
                 const std::uint64_t resolved =
                     len ? len : mappings[mi].registerLength();
-                for (unsigned p : ports) {
-                    for (std::size_t xi = 0; xi < portMixes.size();
-                         ++xi) {
-                        for (Addr a1 : starts) {
-                            jobs.push_back({jobs.size(), mi, xi,
-                                            stride, resolved, a1,
-                                            p});
-                        }
-                        for (unsigned r = 0; r < randomStarts;
-                             ++r) {
-                            jobs.push_back(
-                                {jobs.size(), mi, xi, stride,
-                                 resolved,
-                                 rng.below(randomStartBound), p});
+                for (std::size_t wi = 0; wi < workloads.size();
+                     ++wi) {
+                    for (unsigned p : ports) {
+                        for (std::size_t xi = 0;
+                             xi < portMixes.size(); ++xi) {
+                            for (Addr a1 : starts) {
+                                jobs.push_back({jobs.size(), mi, xi,
+                                                wi, stride, resolved,
+                                                a1, p});
+                            }
+                            for (unsigned r = 0; r < randomStarts;
+                                 ++r) {
+                                jobs.push_back(
+                                    {jobs.size(), mi, xi, wi, stride,
+                                     resolved,
+                                     rng.below(randomStartBound),
+                                     p});
+                            }
                         }
                     }
                 }

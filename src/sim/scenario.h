@@ -4,10 +4,11 @@
  *
  * A ScenarioGrid is the cross product of mapping configurations
  * (kind, t, lambda, s/y/m overrides, buffering), stride sets, access
- * lengths, start addresses, port counts, and per-port traffic mixes
- * (PortMix).  expand() flattens the
- * grid into a dense, deterministically ordered list of independent
- * simulation jobs that the SweepEngine fans out over a thread pool.
+ * lengths, start addresses, workload programs (sim/workload.h),
+ * port counts, and per-port traffic mixes (PortMix).  expand()
+ * flattens the grid into a dense, deterministically ordered list of
+ * independent simulation jobs that the SweepEngine fans out over a
+ * thread pool.
  * Randomized start addresses are drawn during expansion from the
  * grid's seed, so the job list — and therefore the whole sweep — is
  * reproducible at any thread count.
@@ -22,6 +23,7 @@
 
 #include "common/bits.h"
 #include "core/config.h"
+#include "sim/workload.h"
 
 namespace cfva::sim {
 
@@ -70,6 +72,7 @@ struct Scenario
     std::size_t index = 0;        //!< dense job id (expansion order)
     std::size_t mappingIndex = 0; //!< into ScenarioGrid::mappings
     std::size_t portMixIndex = 0; //!< into ScenarioGrid::portMixes
+    std::size_t workloadIndex = 0; //!< into ScenarioGrid::workloads
     std::uint64_t stride = 1;     //!< raw stride value S
     std::uint64_t length = 0;     //!< elements accessed
     Addr a1 = 0;                  //!< start address
@@ -118,6 +121,13 @@ struct ScenarioGrid
      * (every port issues the base stride).
      */
     std::vector<PortMix> portMixes = {PortMix{}};
+
+    /**
+     * Workload programs, crossed with every other axis.  The
+     * default Single workload reproduces the historical one-access
+     * scenarios bit for bit.
+     */
+    std::vector<Workload> workloads = {Workload{}};
 
     /** Seed for the randomized start addresses. */
     std::uint64_t seed = 0x5EEDF00Dull;

@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/stride.h"
+#include "core/chaining.h"
 #include "memsys/backend_cache.h"
 #include "sim/sweep_sink.h"
 #include "theory/theory.h"
@@ -75,15 +76,21 @@ TextTable
 SweepReport::table() const
 {
     TextTable t({"job", "mapping", "stride", "family", "length",
-                 "a1", "ports", "port_mix", "latency",
+                 "a1", "ports", "port_mix", "workload", "latency",
                  "min_latency", "stalls", "conflict_free",
-                 "in_window", "efficiency"});
+                 "in_window", "efficiency", "accesses", "decoupled",
+                 "chained", "chain_saved", "chainable", "retunes",
+                 "retune_cycles"});
     for (const auto &o : outcomes) {
         t.row(o.index, mappingLabels[o.mappingIndex], o.stride,
               o.family, o.length, o.a1, o.ports,
-              portMixLabels[o.portMixIndex], o.latency,
+              portMixLabels[o.portMixIndex],
+              workloadLabels[o.workloadIndex], o.latency,
               o.minLatency, o.stallCycles, o.conflictFree ? 1 : 0,
-              o.inWindow ? 1 : 0, fixed(o.efficiency(), 4));
+              o.inWindow ? 1 : 0, fixed(o.efficiency(), 4),
+              o.accesses, o.decoupledCycles, o.chainedCycles,
+              o.chainSaved(), o.chainable ? 1 : 0, o.retunes,
+              o.retuneCycles);
     }
     return t;
 }
@@ -101,6 +108,50 @@ mappingSummaryTable(const std::vector<MappingSummary> &rows)
     return t;
 }
 
+std::vector<WorkloadSummary>
+SweepReport::perWorkload() const
+{
+    std::vector<WorkloadSummary> rows(workloadLabels.size());
+    for (std::size_t i = 0; i < workloadLabels.size(); ++i)
+        rows[i].label = workloadLabels[i];
+    for (const auto &o : outcomes) {
+        cfva_assert(o.workloadIndex < rows.size(),
+                    "outcome references unknown workload ",
+                    o.workloadIndex);
+        accumulateWorkload(rows[o.workloadIndex], o);
+    }
+    return rows;
+}
+
+void
+accumulateWorkload(WorkloadSummary &row, const ScenarioOutcome &o)
+{
+    ++row.jobs;
+    row.accesses += o.accesses;
+    row.conflictFree += o.conflictFree ? 1 : 0;
+    row.totalLatency += o.latency;
+    row.totalDecoupled += o.decoupledCycles;
+    row.totalChained += o.chainedCycles;
+    row.chainableJobs += o.chainable ? 1 : 0;
+    row.totalRetunes += o.retunes;
+    row.totalRetuneCycles += o.retuneCycles;
+}
+
+TextTable
+workloadSummaryTable(const std::vector<WorkloadSummary> &rows)
+{
+    TextTable t({"workload", "jobs", "accesses", "conflict-free",
+                 "total latency", "chainable", "chain saved",
+                 "retunes", "retune cycles"});
+    for (const auto &r : rows) {
+        t.row(r.label, r.jobs, r.accesses,
+              ratio(r.conflictFree, r.jobs), r.totalLatency,
+              ratio(r.chainableJobs, r.jobs), r.totalChainSaved(),
+              r.totalRetunes, r.totalRetuneCycles);
+    }
+    return t;
+}
+
 TextTable
 SweepReport::summaryTable() const
 {
@@ -113,6 +164,7 @@ SweepReport::stream(SweepSink &sink) const
     SweepContext ctx;
     ctx.mappingLabels = mappingLabels;
     ctx.portMixLabels = portMixLabels;
+    ctx.workloadLabels = workloadLabels;
     ctx.totalJobs = outcomes.size();
     ctx.firstJob = outcomes.empty() ? 0 : outcomes.front().index;
     ctx.lastJob = outcomes.empty() ? 0 : outcomes.back().index + 1;
@@ -177,32 +229,35 @@ namespace {
 
 /** Port @p p's signed stride under @p mix, overflow-checked. */
 std::int64_t
-mixedStride(const Scenario &sc, const PortMix &mix, unsigned p)
+mixedStride(std::uint64_t baseStride, const PortMix &mix, unsigned p)
 {
     const std::int64_t mult = mix.multiplierFor(p);
     const std::uint64_t mag =
         static_cast<std::uint64_t>(mult < 0 ? -mult : mult);
-    cfva_assert(sc.stride
+    cfva_assert(baseStride
                     <= (~std::uint64_t{0} >> 1) / (mag ? mag : 1),
-                "port-mix stride ", sc.stride, " * ", mult,
+                "port-mix stride ", baseStride, " * ", mult,
                 " overflows");
     const std::int64_t scaled =
-        static_cast<std::int64_t>(sc.stride * mag);
+        static_cast<std::int64_t>(baseStride * mag);
     return mult < 0 ? -scaled : scaled;
 }
 
 /**
- * Plans port @p p's stream: stride scaled by the mix, base address
- * staggered per port, descending accesses anchored at the top of
- * their block so no address underflows.
+ * Plans port @p p's stream of one workload access: stride scaled by
+ * the mix, base address staggered per port, descending accesses
+ * anchored at the top of their block so no address underflows.
+ * @p a1 and @p baseStride are the access's own values — workloads
+ * shift/scale them between accesses of a sequence.
  */
 AccessPlan
 planPortStream(const ScenarioGrid &grid, const Scenario &sc,
-               const VectorAccessUnit &unit, unsigned p)
+               const VectorAccessUnit &unit, unsigned p, Addr a1,
+               std::uint64_t baseStride)
 {
     const PortMix &mix = grid.portMixes[sc.portMixIndex];
-    const std::int64_t stride = mixedStride(sc, mix, p);
-    Addr start = sc.a1 + Addr{p} * grid.portStagger;
+    const std::int64_t stride = mixedStride(baseStride, mix, p);
+    Addr start = a1 + Addr{p} * grid.portStagger;
     if (stride < 0) {
         start += (sc.length - 1)
                  * static_cast<std::uint64_t>(-stride);
@@ -210,49 +265,41 @@ planPortStream(const ScenarioGrid &grid, const Scenario &sc,
     return unit.plan(start, stride, sc.length);
 }
 
-} // namespace
-
-ScenarioOutcome
-SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
-                         const VectorAccessUnit &unit,
-                         DeliveryArena *arena, BackendCache *cache)
+/** Scalar outcome of one access within a workload sequence. */
+struct AccessStats
 {
-    const Stride stride(sc.stride);
+    Cycle latency = 0;
+    std::uint64_t stalls = 0;
+    bool conflictFree = false;
+};
 
-    ScenarioOutcome out;
-    out.index = sc.index;
-    out.mappingIndex = sc.mappingIndex;
-    out.portMixIndex = sc.portMixIndex;
-    out.stride = sc.stride;
-    out.family = stride.family();
-    out.length = sc.length;
-    out.a1 = sc.a1;
-    out.ports = sc.ports;
-    const Cycle t_cycles = unit.config().serviceCycles();
+/**
+ * Executes one access of the workload at (@p a1, @p baseStride)
+ * through the unit's port-aware backend.  For a single-port
+ * scenario with @p loadOut set, the full AccessResult (deliveries
+ * intact) is moved there for the chaining model and NOT released —
+ * the caller releases it; every other path releases delivery
+ * buffers to @p arena before returning.
+ */
+AccessStats
+runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
+                  const VectorAccessUnit &unit, Addr a1,
+                  std::uint64_t baseStride, DeliveryArena *arena,
+                  BackendCache *cache, AccessResult *loadOut)
+{
+    AccessStats out;
     if (sc.ports <= 1) {
-        out.minLatency = theory::minimumLatency(sc.length, t_cycles);
-    } else {
-        // Multi-port floor: every port needs at least L + T + 1,
-        // and M modules serving P*L requests of T cycles each
-        // bound the makespan by ceil(P*L*T/M) + T + 1.
-        const std::uint64_t modules = unit.memConfig().modules();
-        const std::uint64_t demand =
-            (sc.ports * sc.length * t_cycles + modules - 1)
-            / modules;
-        out.minLatency =
-            std::max<std::uint64_t>(sc.length, demand) + t_cycles
-            + 1;
-    }
-    out.inWindow = unit.inWindow(stride);
-
-    if (sc.ports <= 1) {
-        AccessResult r = unit.execute(planPortStream(grid, sc, unit, 0),
-                                      arena, cache);
+        AccessResult r = unit.execute(
+            planPortStream(grid, sc, unit, 0, a1, baseStride), arena,
+            cache);
         out.latency = r.latency;
-        out.stallCycles = r.stallCycles;
+        out.stalls = r.stallCycles;
         out.conflictFree = r.conflictFree;
-        if (arena)
+        if (loadOut) {
+            *loadOut = std::move(r);
+        } else if (arena) {
             arena->release(std::move(r.deliveries));
+        }
         return out;
     }
 
@@ -263,17 +310,235 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
     // by the unit's engine knob.
     std::vector<std::vector<Request>> streams;
     streams.reserve(sc.ports);
-    for (unsigned p = 0; p < sc.ports; ++p)
-        streams.push_back(planPortStream(grid, sc, unit, p).stream);
+    for (unsigned p = 0; p < sc.ports; ++p) {
+        streams.push_back(
+            planPortStream(grid, sc, unit, p, a1, baseStride)
+                .stream);
+    }
     MultiPortResult r = unit.executePorts(streams, arena, cache);
     out.latency = r.makespan;
     for (auto &port : r.ports) {
-        out.stallCycles += port.stallCycles;
+        out.stalls += port.stallCycles;
         if (arena)
             arena->release(std::move(port.deliveries));
     }
     out.conflictFree = r.allConflictFree();
     return out;
+}
+
+/** Folds one access into the workload-level outcome totals. */
+void
+foldAccess(ScenarioOutcome &out, const AccessStats &a)
+{
+    out.latency += a.latency;
+    out.stallCycles += a.stalls;
+    out.conflictFree = out.conflictFree && a.conflictFree;
+}
+
+/**
+ * The per-access latency floor: L + T + 1 for a single port; for
+ * P > 1 the bandwidth-aware makespan bound
+ * max(L, ceil(P*L*T/M)) + T + 1.
+ */
+Cycle
+accessFloor(const Scenario &sc, const VectorAccessUnit &unit)
+{
+    const Cycle t_cycles = unit.config().serviceCycles();
+    if (sc.ports <= 1)
+        return theory::minimumLatency(sc.length, t_cycles);
+    const std::uint64_t modules = unit.memConfig().modules();
+    const std::uint64_t demand =
+        (sc.ports * sc.length * t_cycles + modules - 1) / modules;
+    return std::max<std::uint64_t>(sc.length, demand) + t_cycles + 1;
+}
+
+/**
+ * Applies the EXECUTE step following the sequence's last load: the
+ * decoupled/chained program totals grow from the pure memory total
+ * by the Sec. 5F costs derived from that load's delivery stream.
+ * Multi-port scenarios use the decoupled cost for both totals — the
+ * paper's chaining model is a single-stream argument — and stay
+ * flagged unchainable.
+ */
+void
+applyExecuteStep(ScenarioOutcome &out, const Scenario &sc,
+                 const Workload &wl, AccessResult &&lastLoad,
+                 DeliveryArena *arena)
+{
+    if (sc.ports <= 1) {
+        const ChainCosts costs =
+            chainCosts(lastLoad, wl.execLatency);
+        out.decoupledCycles += costs.decoupled;
+        out.chainedCycles += costs.chained;
+        out.chainable = costs.chainable;
+        if (arena)
+            arena->release(std::move(lastLoad.deliveries));
+        return;
+    }
+    const Cycle decoupled = (sc.length - 1) + wl.execLatency;
+    out.decoupledCycles += decoupled;
+    out.chainedCycles += decoupled;
+    out.chainable = false;
+}
+
+/** The dynamic scheme's tuning for @p family, clamped so the m-bit
+ *  module field stays inside the 64-bit address. */
+unsigned
+clampedTune(unsigned family, unsigned m)
+{
+    return std::min(family, 63u - m);
+}
+
+} // namespace
+
+ScenarioOutcome
+SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
+                         const VectorAccessUnit &unit,
+                         DeliveryArena *arena, BackendCache *cache,
+                         WorkloadUnits *workloads)
+{
+    const Stride stride(sc.stride);
+    const Workload &wl = grid.workloads[sc.workloadIndex];
+
+    ScenarioOutcome out;
+    out.index = sc.index;
+    out.mappingIndex = sc.mappingIndex;
+    out.portMixIndex = sc.portMixIndex;
+    out.workloadIndex = sc.workloadIndex;
+    out.stride = sc.stride;
+    out.family = stride.family();
+    out.length = sc.length;
+    out.a1 = sc.a1;
+    out.ports = sc.ports;
+    out.inWindow = unit.inWindow(stride);
+    out.conflictFree = true;
+
+    const Cycle floor1 = accessFloor(sc, unit);
+
+    switch (wl.kind) {
+      case WorkloadKind::Single: {
+        out.accesses = 1;
+        out.minLatency = floor1;
+        foldAccess(out, runWorkloadAccess(grid, sc, unit, sc.a1,
+                                          sc.stride, arena, cache,
+                                          nullptr));
+        return out;
+      }
+
+      case WorkloadKind::Chain: {
+        // One LOAD, one EXECUTE chained on its delivery stream.
+        out.accesses = 1;
+        out.minLatency = floor1;
+        AccessResult load;
+        const bool capture = sc.ports <= 1;
+        foldAccess(out,
+                   runWorkloadAccess(grid, sc, unit, sc.a1,
+                                     sc.stride, arena, cache,
+                                     capture ? &load : nullptr));
+        out.decoupledCycles = out.latency;
+        out.chainedCycles = out.latency;
+        applyExecuteStep(out, sc, wl, std::move(load), arena);
+        return out;
+      }
+
+      case WorkloadKind::Stencil: {
+        // Three shifted LOADs (x[i], x[i+1], x[i+2] of a stride-S
+        // walk), an EXECUTE chained on the last load, one STORE.
+        out.accesses = 4;
+        out.minLatency = 4 * floor1;
+        AccessResult lastLoad;
+        for (unsigned tap = 0; tap < 3; ++tap) {
+            const bool capture = sc.ports <= 1 && tap == 2;
+            foldAccess(out,
+                       runWorkloadAccess(
+                           grid, sc, unit,
+                           sc.a1 + Addr{tap} * sc.stride, sc.stride,
+                           arena, cache,
+                           capture ? &lastLoad : nullptr));
+        }
+        const Cycle loadTotal = out.latency;
+        out.decoupledCycles = loadTotal;
+        out.chainedCycles = loadTotal;
+        applyExecuteStep(out, sc, wl, std::move(lastLoad), arena);
+        const AccessStats store = runWorkloadAccess(
+            grid, sc, unit, sc.a1, sc.stride, arena, cache, nullptr);
+        foldAccess(out, store);
+        out.decoupledCycles += store.latency;
+        out.chainedCycles += store.latency;
+        return out;
+      }
+
+      case WorkloadKind::Retune: {
+        // Two stride phases of retunePeriod accesses each: the base
+        // stride, then twice it (the next family up — a row walk
+        // followed by a column walk).  A DynamicTuned scheme [11]
+        // re-tunes its field interleave to each incoming family and
+        // pays the displacedBy relayout; static mappings run both
+        // phases untouched.
+        const unsigned period = wl.retunePeriod;
+        out.accesses = 2 * std::uint64_t{period};
+        out.minLatency = out.accesses * floor1;
+
+        const VectorUnitConfig &cfg = unit.config();
+        const bool dynamic = cfg.kind == MemoryKind::DynamicTuned;
+        const unsigned m = dynamic ? cfg.m() : 0;
+        unsigned current = dynamic ? cfg.dynamicTune : 0;
+
+        const std::uint64_t phaseStrides[2] = {sc.stride,
+                                               sc.stride * 2};
+        for (std::uint64_t phaseStride : phaseStrides) {
+            const VectorAccessUnit *phaseUnit = &unit;
+            BackendCache *phaseCache = cache;
+            std::unique_ptr<VectorAccessUnit> ephemeral;
+            if (dynamic) {
+                const unsigned tune = clampedTune(
+                    Stride(phaseStride).family(), m);
+                if (tune != current) {
+                    ++out.retunes;
+                    out.retuneCycles +=
+                        workloads
+                            ? workloads->relayoutCycles(
+                                  m, current, tune, sc.length,
+                                  cfg.serviceCycles())
+                            : retuneRelayoutCycles(
+                                  m, current, tune, sc.length,
+                                  cfg.serviceCycles());
+                    current = tune;
+                }
+                if (current != cfg.dynamicTune) {
+                    if (workloads) {
+                        phaseUnit = &workloads->retuned(
+                            cfg, sc.mappingIndex, current);
+                    } else {
+                        // No per-worker scratch: build the variant
+                        // for this phase only, and keep its backend
+                        // out of the cache (a cached backend must
+                        // not outlive its mapping).
+                        VectorUnitConfig variant = cfg;
+                        variant.dynamicTune = current;
+                        ephemeral =
+                            std::make_unique<VectorAccessUnit>(
+                                variant);
+                        phaseUnit = ephemeral.get();
+                        phaseCache = nullptr;
+                    }
+                }
+            }
+            for (unsigned r = 0; r < period; ++r) {
+                foldAccess(out, runWorkloadAccess(
+                                    grid, sc, *phaseUnit, sc.a1,
+                                    phaseStride, arena, phaseCache,
+                                    nullptr));
+            }
+        }
+        // The relayout charge is part of the program's memory time:
+        // data must be physically moved before the next access can
+        // start (Sec. 6's argument against [11], quantified).
+        out.latency += out.retuneCycles;
+        return out;
+      }
+    }
+    cfva_panic("unreachable workload kind");
 }
 
 namespace {
@@ -299,11 +564,16 @@ struct WorkerArena
     // Arena-local state, never shared.
     std::vector<std::unique_ptr<VectorAccessUnit>> units;
 
+    // Re-tuned variant units and relayout memos for Retune
+    // workloads; declared before `backends` for the same lifetime
+    // reason as `units`.
+    WorkloadUnits workloads;
+
     // Reuses one MemoryBackend (modules, event heaps, scratch) per
     // (engine, mapping) across all of this worker's scenarios
-    // instead of rebuilding it per access.  Declared after `units`:
-    // the cached backends reference the units' mappings and must be
-    // destroyed first.
+    // instead of rebuilding it per access.  Declared after the unit
+    // holders: the cached backends reference their mappings and
+    // must be destroyed first.
     BackendCache backends;
 
     // Recycles delivery buffers across this worker's scenarios so
@@ -459,6 +729,9 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
     ctx.portMixLabels.reserve(grid.portMixes.size());
     for (const auto &mix : grid.portMixes)
         ctx.portMixLabels.push_back(mix.label());
+    ctx.workloadLabels.reserve(grid.workloads.size());
+    for (const auto &wl : grid.workloads)
+        ctx.workloadLabels.push_back(wl.label());
     ctx.totalJobs = jobs.size();
     const auto [firstJob, lastJob] =
         opts_.shard.sliceOf(jobs.size());
@@ -524,7 +797,8 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
                     grid, sc,
                     mine.unitFor(grid, sc.mappingIndex,
                                  opts_.engine),
-                    &mine.deliveries, &mine.backends));
+                    &mine.deliveries, &mine.backends,
+                    &mine.workloads));
             }
             flush.push(chunk.first, std::move(buf));
             buf = {};

@@ -41,23 +41,32 @@ struct ScenarioOutcome
     std::size_t index = 0;        //!< job id (= Scenario::index)
     std::size_t mappingIndex = 0; //!< into the grid's mapping axis
     std::size_t portMixIndex = 0; //!< into the grid's port-mix axis
+    std::size_t workloadIndex = 0; //!< into the grid's workload axis
     std::uint64_t stride = 0;     //!< base stride (mix scales it)
     unsigned family = 0;          //!< x with stride = sigma * 2^x
     std::uint64_t length = 0;
     Addr a1 = 0;
     unsigned ports = 1;
 
-    /** Latency of the access (multi-port: the makespan). */
+    /**
+     * Memory cycles of the workload: the sum of its access
+     * latencies (multi-port: makespans) plus any retune relayout
+     * charge.  For the Single workload this is exactly the access
+     * latency, unchanged from the pre-workload engine.
+     */
     Cycle latency = 0;
 
     /**
-     * The latency floor: L + T + 1 for a single port; for P > 1
-     * the bandwidth-aware makespan bound
-     * max(L, ceil(P*L*T/M)) + T + 1.
+     * The latency floor: per access, L + T + 1 for a single port
+     * and the bandwidth-aware makespan bound
+     * max(L, ceil(P*L*T/M)) + T + 1 for P > 1; summed over the
+     * workload's accesses (retune relayout is never part of the
+     * floor — that gap is exactly the cost being measured).
      */
     Cycle minLatency = 0;
 
-    /** Processor stall cycles (multi-port: summed over ports). */
+    /** Processor stall cycles (multi-port: summed over ports;
+     *  workloads: summed over accesses). */
     std::uint64_t stallCycles = 0;
 
     /**
@@ -73,8 +82,39 @@ struct ScenarioOutcome
     /** Stride family inside the unit's Theorem 1/3 window. */
     bool inWindow = false;
 
-    /** minLatency / latency, the per-access efficiency. */
+    /** Memory accesses the workload executed (1 for Single). */
+    std::uint64_t accesses = 1;
+
+    /**
+     * Program total in decoupled mode — memory cycles plus every
+     * EXECUTE step issued only after its load completes (Sec. 5F's
+     * baseline).  0 for workloads without an EXECUTE step.
+     */
+    Cycle decoupledCycles = 0;
+
+    /** Program total with LOAD/EXECUTE chaining (equals
+     *  decoupledCycles when nothing chains). */
+    Cycle chainedCycles = 0;
+
+    /** Every EXECUTE step met the Sec. 5F precondition
+     *  (deterministic one-per-cycle delivery; single-port only). */
+    bool chainable = false;
+
+    /** Times a DynamicTuned mapping re-tuned between accesses. */
+    std::uint64_t retunes = 0;
+
+    /** Analytic relayout cycles those retunes charged
+     *  (DynamicFieldMapping::displacedBy; included in latency). */
+    Cycle retuneCycles = 0;
+
+    /** minLatency / latency, the workload efficiency. */
     double efficiency() const;
+
+    /** Cycles chaining saves on this workload. */
+    Cycle chainSaved() const
+    {
+        return decoupledCycles - chainedCycles;
+    }
 
     bool operator==(const ScenarioOutcome &o) const = default;
 };
@@ -93,6 +133,28 @@ struct MappingSummary
     double meanEfficiency = 0.0;
 };
 
+/** Aggregate row for one workload of the grid. */
+struct WorkloadSummary
+{
+    std::string label;
+    std::uint64_t jobs = 0;
+    std::uint64_t accesses = 0;      //!< memory accesses executed
+    std::uint64_t conflictFree = 0;  //!< fully conflict-free jobs
+    Cycle totalLatency = 0;
+    Cycle totalDecoupled = 0;
+    Cycle totalChained = 0;
+    std::uint64_t chainableJobs = 0;
+    std::uint64_t totalRetunes = 0;
+    Cycle totalRetuneCycles = 0;
+
+    /** Total cycles chaining saved across the workload's jobs. */
+    Cycle
+    totalChainSaved() const
+    {
+        return totalDecoupled - totalChained;
+    }
+};
+
 /** The merged result of one sweep, ordered by job index. */
 struct SweepReport
 {
@@ -105,12 +167,18 @@ struct SweepReport
     /** label() of each grid port mix, indexed by portMixIndex. */
     std::vector<std::string> portMixLabels;
 
+    /** label() of each grid workload, indexed by workloadIndex. */
+    std::vector<std::string> workloadLabels;
+
     std::size_t jobs() const { return outcomes.size(); }
     std::uint64_t conflictFreeJobs() const;
     Cycle totalLatency() const;
 
     /** One summary row per mapping configuration. */
     std::vector<MappingSummary> perMapping() const;
+
+    /** One summary row per workload program. */
+    std::vector<WorkloadSummary> perWorkload() const;
 
     /** Full per-scenario table (one row per outcome). */
     TextTable table() const;
@@ -138,6 +206,16 @@ struct SweepReport
 /** Renders per-mapping summary rows (shared by SweepReport and
  *  SummarySink so both emit the same table). */
 TextTable mappingSummaryTable(const std::vector<MappingSummary> &rows);
+
+/** Renders per-workload summary rows (shared by SweepReport and
+ *  SummarySink so both emit the same table). */
+TextTable
+workloadSummaryTable(const std::vector<WorkloadSummary> &rows);
+
+/** Folds one outcome into a workload summary row (shared by
+ *  SweepReport::perWorkload and the streaming SummarySink). */
+void accumulateWorkload(WorkloadSummary &row,
+                        const ScenarioOutcome &o);
 
 /**
  * One deterministic slice of a grid's job list: shard index of
@@ -267,7 +345,8 @@ class SweepEngine
                    SweepRunStats *stats = nullptr) const;
 
     /**
-     * Simulates one scenario on @p unit (the unit built from the
+     * Simulates one scenario — the full workload program the
+     * scenario names — on @p unit (the unit built from the
      * scenario's mapping configuration).  Exposed so single-job
      * callers and tests can cross-check the batch path against a
      * direct simulation.  When @p arena is given, delivery buffers
@@ -275,13 +354,20 @@ class SweepEngine
      * arena; records are released back once the outcome scalars
      * are extracted).  When @p cache is given, the memory backend
      * is reused from it instead of rebuilt for this access (the
-     * engine passes each worker's cache).
+     * engine passes each worker's cache).  When @p workloads is
+     * given, re-tuned variant units of Retune workloads are reused
+     * from it (the engine passes each worker's scratch); without
+     * it, variants are built ephemerally — bypassing @p cache for
+     * their accesses, since a cached backend must not outlive its
+     * mapping — and results are identical either way.
      */
     static ScenarioOutcome runScenario(const ScenarioGrid &grid,
                                        const Scenario &sc,
                                        const VectorAccessUnit &unit,
                                        DeliveryArena *arena = nullptr,
-                                       BackendCache *cache = nullptr);
+                                       BackendCache *cache = nullptr,
+                                       WorkloadUnits *workloads =
+                                           nullptr);
 
     const SweepOptions &options() const { return opts_; }
 

@@ -11,6 +11,7 @@ ReportSink::begin(const SweepContext &ctx)
 {
     report_.mappingLabels = ctx.mappingLabels;
     report_.portMixLabels = ctx.portMixLabels;
+    report_.workloadLabels = ctx.workloadLabels;
     report_.outcomes.reserve(ctx.lastJob - ctx.firstJob);
 }
 
@@ -25,23 +26,29 @@ CsvStreamSink::begin(const SweepContext &ctx)
 {
     ctx_ = ctx;
     os_ << "job,mapping,stride,family,length,a1,ports,port_mix,"
-           "latency,min_latency,stalls,conflict_free,in_window,"
-           "efficiency\n";
+           "workload,latency,min_latency,stalls,conflict_free,"
+           "in_window,efficiency,accesses,decoupled,chained,"
+           "chain_saved,chainable,retunes,retune_cycles\n";
 }
 
 void
 CsvStreamSink::consume(const ScenarioOutcome &o)
 {
     cfva_assert(o.mappingIndex < ctx_.mappingLabels.size()
-                    && o.portMixIndex < ctx_.portMixLabels.size(),
+                    && o.portMixIndex < ctx_.portMixLabels.size()
+                    && o.workloadIndex < ctx_.workloadLabels.size(),
                 "outcome ", o.index, " references unknown labels");
     os_ << o.index << ',' << ctx_.mappingLabels[o.mappingIndex] << ','
         << o.stride << ',' << o.family << ',' << o.length << ','
         << o.a1 << ',' << o.ports << ','
-        << ctx_.portMixLabels[o.portMixIndex] << ',' << o.latency
+        << ctx_.portMixLabels[o.portMixIndex] << ','
+        << ctx_.workloadLabels[o.workloadIndex] << ',' << o.latency
         << ',' << o.minLatency << ',' << o.stallCycles << ','
         << (o.conflictFree ? 1 : 0) << ',' << (o.inWindow ? 1 : 0)
-        << ',' << fixed(o.efficiency(), 4) << "\n";
+        << ',' << fixed(o.efficiency(), 4) << ',' << o.accesses
+        << ',' << o.decoupledCycles << ',' << o.chainedCycles << ','
+        << o.chainSaved() << ',' << (o.chainable ? 1 : 0) << ','
+        << o.retunes << ',' << o.retuneCycles << "\n";
 }
 
 void
@@ -56,7 +63,8 @@ void
 JsonStreamSink::consume(const ScenarioOutcome &o)
 {
     cfva_assert(o.mappingIndex < ctx_.mappingLabels.size()
-                    && o.portMixIndex < ctx_.portMixLabels.size(),
+                    && o.portMixIndex < ctx_.portMixLabels.size()
+                    && o.workloadIndex < ctx_.workloadLabels.size(),
                 "outcome ", o.index, " references unknown labels");
     os_ << (first_ ? "\n" : ",\n");
     first_ = false;
@@ -65,12 +73,19 @@ JsonStreamSink::consume(const ScenarioOutcome &o)
         << o.stride << ", \"family\": " << o.family
         << ", \"length\": " << o.length << ", \"a1\": " << o.a1
         << ", \"ports\": " << o.ports << ", \"port_mix\": \""
-        << ctx_.portMixLabels[o.portMixIndex] << "\", \"latency\": "
+        << ctx_.portMixLabels[o.portMixIndex] << "\", \"workload\": \""
+        << ctx_.workloadLabels[o.workloadIndex] << "\", \"latency\": "
         << o.latency << ", \"min_latency\": " << o.minLatency
         << ", \"stalls\": " << o.stallCycles << ", \"conflict_free\": "
         << (o.conflictFree ? "true" : "false") << ", \"in_window\": "
         << (o.inWindow ? "true" : "false") << ", \"efficiency\": "
-        << fixed(o.efficiency(), 6) << "}";
+        << fixed(o.efficiency(), 6) << ", \"accesses\": "
+        << o.accesses << ", \"decoupled\": " << o.decoupledCycles
+        << ", \"chained\": " << o.chainedCycles
+        << ", \"chain_saved\": " << o.chainSaved()
+        << ", \"chainable\": " << (o.chainable ? "true" : "false")
+        << ", \"retunes\": " << o.retunes << ", \"retune_cycles\": "
+        << o.retuneCycles << "}";
 }
 
 void
@@ -86,6 +101,10 @@ SummarySink::begin(const SweepContext &ctx)
     effSum_.assign(ctx.mappingLabels.size(), 0.0);
     for (std::size_t i = 0; i < ctx.mappingLabels.size(); ++i)
         rows_[i].label = ctx.mappingLabels[i];
+    workloadRows_.assign(ctx.workloadLabels.size(),
+                         WorkloadSummary{});
+    for (std::size_t i = 0; i < ctx.workloadLabels.size(); ++i)
+        workloadRows_[i].label = ctx.workloadLabels[i];
     jobs_ = 0;
     conflictFree_ = 0;
     totalLatency_ = 0;
@@ -96,6 +115,10 @@ SummarySink::consume(const ScenarioOutcome &o)
 {
     cfva_assert(o.mappingIndex < rows_.size(),
                 "outcome references unknown mapping ", o.mappingIndex);
+    cfva_assert(o.workloadIndex < workloadRows_.size(),
+                "outcome references unknown workload ",
+                o.workloadIndex);
+    accumulateWorkload(workloadRows_[o.workloadIndex], o);
     auto &r = rows_[o.mappingIndex];
     ++r.jobs;
     r.conflictFree += o.conflictFree ? 1 : 0;
@@ -125,6 +148,12 @@ TextTable
 SummarySink::summaryTable() const
 {
     return mappingSummaryTable(perMapping());
+}
+
+TextTable
+SummarySink::workloadTable() const
+{
+    return workloadSummaryTable(perWorkload());
 }
 
 void

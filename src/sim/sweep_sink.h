@@ -47,6 +47,9 @@ struct SweepContext
     /** label() of each grid port mix, indexed by portMixIndex. */
     std::vector<std::string> portMixLabels;
 
+    /** label() of each grid workload, indexed by workloadIndex. */
+    std::vector<std::string> workloadLabels;
+
     /**
      * Jobs known to the producer: the whole (unsharded) grid when
      * the engine streams live, the replayed outcome count when a
@@ -156,12 +159,23 @@ class SummarySink final : public SweepSink
     /** One row per mapping, same math as SweepReport::perMapping. */
     std::vector<MappingSummary> perMapping() const;
 
+    /** One row per workload, same math as
+     *  SweepReport::perWorkload. */
+    std::vector<WorkloadSummary> perWorkload() const
+    {
+        return workloadRows_;
+    }
+
     /** Same rendering as SweepReport::summaryTable. */
     TextTable summaryTable() const;
+
+    /** Same rendering as workloadSummaryTable(perWorkload()). */
+    TextTable workloadTable() const;
 
   private:
     std::vector<MappingSummary> rows_;
     std::vector<double> effSum_;
+    std::vector<WorkloadSummary> workloadRows_;
     std::size_t jobs_ = 0;
     std::uint64_t conflictFree_ = 0;
     Cycle totalLatency_ = 0;

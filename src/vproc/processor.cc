@@ -13,12 +13,30 @@ VectorProcessor::VectorProcessor(const VectorUnitConfig &cfg,
 {
 }
 
+AccessResult
+VectorProcessor::execMemory(const AccessPlan &plan)
+{
+    // Through the unified backend: the engine knob selects the
+    // simulator, the cache reuses it across instructions, the arena
+    // recycles delivery buffers — the sweep engine's exact path.
+    AccessResult result = unit_.execute(plan, &arena_, &backends_);
+
+    stats_.memoryAccesses += 1;
+    stats_.memoryElements += vl_;
+    stats_.memoryCycles += result.latency;
+    stats_.cycles += result.latency;
+    stats_.stallCycles += result.stallCycles;
+    if (result.conflictFree)
+        ++stats_.conflictFreeAccesses;
+    return result;
+}
+
 void
 VectorProcessor::execLoad(const Instruction &inst)
 {
     const Stride stride(inst.stride);
-    const AccessPlan plan = unit_.plan(inst.base, stride, vl_);
-    const AccessResult result = unit_.execute(plan);
+    AccessResult result =
+        execMemory(unit_.plan(inst.base, stride, vl_));
 
     // Write the register in delivery order — the order the return
     // bus actually produced elements.  Out-of-order delivery is why
@@ -27,37 +45,30 @@ VectorProcessor::execLoad(const Instruction &inst)
     for (const auto &d : result.deliveries)
         regs_.write(inst.vd, d.element, memory_.load(d.addr));
 
-    stats_.memoryAccesses += 1;
-    stats_.memoryElements += vl_;
-    stats_.memoryCycles += result.latency;
-    stats_.cycles += result.latency;
-    stats_.stallCycles += result.stallCycles;
-    if (result.conflictFree)
-        ++stats_.conflictFreeAccesses;
-
     // Open a chain window for the next instruction (Sec. 5F): only
-    // a conflict-free load has a deterministic delivery schedule.
-    chainSrc_ = {chaining_ && result.conflictFree, inst.vd};
+    // a conflict-free load has a deterministic delivery schedule,
+    // and the chain timing comes from that schedule.
+    chainSrc_ = {};
+    if (chaining_ && result.conflictFree) {
+        chainSrc_.valid = true;
+        chainSrc_.reg = inst.vd;
+        chainSrc_.costs = chainCosts(result);
+    }
+    arena_.release(std::move(result.deliveries));
 }
 
 void
 VectorProcessor::execStore(const Instruction &inst)
 {
     const Stride stride(inst.stride);
-    const AccessPlan plan = unit_.plan(inst.base, stride, vl_);
-    const AccessResult result = unit_.execute(plan);
+    AccessResult result =
+        execMemory(unit_.plan(inst.base, stride, vl_));
 
     for (const auto &d : result.deliveries)
         memory_.store(d.addr, regs_.read(inst.vs1, d.element));
 
-    stats_.memoryAccesses += 1;
-    stats_.memoryElements += vl_;
-    stats_.memoryCycles += result.latency;
-    stats_.cycles += result.latency;
-    stats_.stallCycles += result.stallCycles;
-    if (result.conflictFree)
-        ++stats_.conflictFreeAccesses;
     chainSrc_.valid = false; // a store breaks the chain window
+    arena_.release(std::move(result.deliveries));
 }
 
 void
@@ -90,10 +101,11 @@ VectorProcessor::execArith(const Instruction &inst)
         regs_.write(inst.vd, i, r);
     }
 
-    // Timing: one element per cycle through the execute pipeline.
-    // If this instruction chains on the immediately preceding
-    // conflict-free LOAD, the element stream overlaps the load's
-    // delivery stream and only the one-cycle tail remains.
+    // Timing: one element per cycle through the execute pipeline —
+    // vl cycles decoupled.  If this instruction chains on the
+    // immediately preceding conflict-free LOAD, the cost is the
+    // Sec. 5F chained tail derived from that load's delivery
+    // stream (chainCosts): one cycle at unit pipeline depth.
     const bool uses_two_sources =
         inst.op == Opcode::VAdd || inst.op == Opcode::VSub
         || inst.op == Opcode::VMul;
@@ -101,8 +113,10 @@ VectorProcessor::execArith(const Instruction &inst)
         && (inst.vs1 == chainSrc_.reg
             || (uses_two_sources && inst.vs2 == chainSrc_.reg));
     if (chained) {
-        stats_.executeCycles += 1;
-        stats_.cycles += 1;
+        const Cycle cost = chainSrc_.costs.chained;
+        stats_.executeCycles += cost;
+        stats_.cycles += cost;
+        stats_.chainSavedCycles += chainSrc_.costs.saved();
         ++stats_.chainedOps;
     } else {
         stats_.executeCycles += vl_;

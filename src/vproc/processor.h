@@ -7,8 +7,16 @@
  * the execute unit operates register-to-register at one element per
  * cycle.  Timing is decoupled by default — a LOADed register is
  * consumed only when complete — matching the paper's default mode
- * of operation; the chaining analysis of Sec. 5F is available
- * separately through core/chaining.h.
+ * of operation; with chaining enabled, arithmetic timing is driven
+ * by the Sec. 5F model (core/chaining.h) fed from the load's
+ * simulated delivery stream.
+ *
+ * Every LOAD/STORE dispatches through the unified MemoryBackend
+ * selected by VectorUnitConfig::engine, reusing one backend per
+ * processor via a private BackendCache and recycling delivery
+ * buffers through a DeliveryArena — the same hot path the sweep
+ * engine runs, so program timings are engine-invariant and
+ * identical to the sweep's `single`/`chain` workload outcomes.
  */
 
 #ifndef CFVA_VPROC_PROCESSOR_H
@@ -18,7 +26,9 @@
 #include <vector>
 
 #include "core/access_unit.h"
+#include "core/chaining.h"
 #include "core/register_file.h"
+#include "memsys/backend_cache.h"
 #include "vproc/data_memory.h"
 #include "vproc/isa.h"
 
@@ -36,6 +46,7 @@ struct ExecStats
     std::uint64_t conflictFreeAccesses = 0;
     std::uint64_t stallCycles = 0;  //!< memory-conflict stalls
     std::uint64_t chainedOps = 0;   //!< arithmetic chained on a LOAD
+    Cycle chainSavedCycles = 0;     //!< cycles chaining saved
 };
 
 /** Straight-line vector processor with decoupled memory access. */
@@ -56,10 +67,11 @@ class VectorProcessor
      * Enables LOAD/EXECUTE chaining (paper Sec. 5F): an arithmetic
      * instruction that immediately follows the LOAD producing one
      * of its sources overlaps with the load's deterministic
-     * delivery stream, costing one tail cycle instead of vl.  Only
-     * conflict-free loads chain — exactly the paper's restriction —
-     * because only they deliver one element per cycle in a
-     * schedule known at issue time.
+     * delivery stream, costing the chainCosts() tail (one cycle at
+     * unit pipeline depth) instead of vl.  Only conflict-free loads
+     * chain — exactly the paper's restriction — because only they
+     * deliver one element per cycle in a schedule known at issue
+     * time.
      */
     void enableChaining(bool on) { chaining_ = on; }
     bool chainingEnabled() const { return chaining_; }
@@ -80,20 +92,35 @@ class VectorProcessor
     void execStore(const Instruction &inst);
     void execArith(const Instruction &inst);
 
+    /** Runs one LOAD/STORE plan through the cached backend and
+     *  accounts the shared timing stats; the caller consumes the
+     *  deliveries and releases the buffer back to arena_. */
+    AccessResult execMemory(const AccessPlan &plan);
+
     VectorAccessUnit unit_;
     DataMemory memory_;
     VectorRegisterFile regs_;
     std::uint64_t vl_;
     ExecStats stats_;
 
+    // The unified-backend hot path: one MemoryBackend per
+    // (engine, mapping) reused across every instruction, delivery
+    // buffers recycled across accesses.  Declared after unit_ —
+    // cached backends reference its mapping and are destroyed
+    // first.
+    DeliveryArena arena_;
+    BackendCache backends_;
+
     bool chaining_ = false;
 
     /** Chain window: the destination of an immediately preceding
-     *  conflict-free LOAD, or none. */
+     *  conflict-free LOAD plus the Sec. 5F costs derived from its
+     *  delivery stream, or none. */
     struct ChainSource
     {
         bool valid = false;
         unsigned reg = 0;
+        ChainCosts costs;
     };
     ChainSource chainSrc_;
 };

@@ -203,7 +203,7 @@ TEST(SweepEngine, ReportAggregatesAreConsistent)
     EXPECT_EQ(jobs, report.jobs());
 
     EXPECT_EQ(report.table().rows(), report.jobs());
-    EXPECT_EQ(report.table().columns(), 14u);
+    EXPECT_EQ(report.table().columns(), 22u);
 }
 
 TEST(SweepEngine, RejectsInvalidGrids)

@@ -48,9 +48,17 @@ goldenGrid()
     sectioned.t = 2;
     sectioned.lambda = 4; // M = 16, y = 5
 
+    // A dynamic prior-art mapping so the retune workload's relayout
+    // columns freeze non-zero values.
+    VectorUnitConfig dynamic;
+    dynamic.kind = MemoryKind::DynamicTuned;
+    dynamic.t = 2;
+    dynamic.lambda = 4;
+    dynamic.dynamicTune = 0;
+
     ScenarioGrid grid;
-    grid.mappings = {matched, sectioned};
-    grid.strides = {1, 2, 4, 6, 8};
+    grid.mappings = {matched, sectioned, dynamic};
+    grid.strides = {1, 2, 6};
     grid.lengths = {0, 8};
     grid.starts = {0, 5};
     grid.randomStarts = 0;
@@ -59,6 +67,17 @@ goldenGrid()
     // report columns alongside the single-port ones.
     grid.ports = {1, 2};
     grid.portMixes = {PortMix{}, PortMix{{1, -3}}};
+    // Workload axis: every program shape, freezing the chain /
+    // retune / stencil columns.
+    Workload chain;
+    chain.kind = WorkloadKind::Chain;
+    chain.execLatency = 2;
+    Workload retune;
+    retune.kind = WorkloadKind::Retune;
+    retune.retunePeriod = 2;
+    Workload stencil;
+    stencil.kind = WorkloadKind::Stencil;
+    grid.workloads = {Workload{}, chain, retune, stencil};
     return grid;
 }
 

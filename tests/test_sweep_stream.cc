@@ -372,6 +372,53 @@ TEST(SweepStream, MergeRejectsMismatchedInputs)
     }
 }
 
+TEST(SweepStream, MergeRejectsMixedSchemas)
+{
+    // Shards written by builds before and after a column was added
+    // must fail the merge loudly, not concatenate silently.
+    test::ScopedPanicThrow guard;
+    {
+        // Old-schema CSV shard (no workload columns) after a
+        // current one.
+        std::ostringstream current;
+        CsvStreamSink sink(current);
+        SweepReport report = SweepEngine().run(pipelineGrid());
+        report.stream(sink);
+        std::istringstream a(current.str());
+        std::istringstream b(
+            "job,mapping,stride,family,length,a1,ports,port_mix,"
+            "latency,min_latency,stalls,conflict_free,in_window,"
+            "efficiency\n0,m,1,0,16,0,1,1,21,21,0,1,1,1.0000\n");
+        std::vector<std::istream *> in{&a, &b};
+        std::ostringstream out;
+        EXPECT_THROW(mergeCsv(out, in), std::runtime_error);
+    }
+    {
+        // JSON rows whose field names differ.
+        std::istringstream a(
+            "[\n  {\"job\": 0, \"latency\": 21}\n]\n");
+        std::istringstream b(
+            "[\n  {\"job\": 1, \"latency\": 21, \"extra\": 0}\n]\n");
+        std::vector<std::istream *> in{&a, &b};
+        std::ostringstream out;
+        EXPECT_THROW(mergeJson(out, in), std::runtime_error);
+    }
+    {
+        // Identical schemas still merge (quoted values that differ
+        // are not schema).
+        std::istringstream a(
+            "[\n  {\"job\": 0, \"mapping\": \"m one\"}\n]\n");
+        std::istringstream b(
+            "[\n  {\"job\": 1, \"mapping\": \"m two\"}\n]\n");
+        std::vector<std::istream *> in{&a, &b};
+        std::ostringstream out;
+        mergeJson(out, in);
+        EXPECT_EQ(out.str(),
+                  "[\n  {\"job\": 0, \"mapping\": \"m one\"},\n"
+                  "  {\"job\": 1, \"mapping\": \"m two\"}\n]\n");
+    }
+}
+
 TEST(SweepStream, MergeHandlesEmptyShards)
 {
     // A shard can legitimately receive zero jobs (more shards than

@@ -36,7 +36,10 @@ usage(std::ostream &os)
           "\n"
           "Concatenates cfva_sweep shard outputs (given in shard\n"
           "order) into the canonical unsharded report.  OUT may be\n"
-          "'-' for stdout.\n";
+          "'-' for stdout.  Shards are schema-checked against each\n"
+          "other (CSV header line / JSON field names) and the merge\n"
+          "fails with a diagnostic rather than silently\n"
+          "concatenating mixed schemas.\n";
 }
 
 } // namespace

@@ -58,6 +58,20 @@ usage(std::ostream &os)
           "  --starts LIST      start addresses (default 0)\n"
           "  --random-starts N  extra random starts per combo "
           "(default 3)\n"
+          "  --workloads LIST   workload programs per scenario:\n"
+          "                     single | chain | retune | stencil\n"
+          "                     (default single).  chain runs\n"
+          "                     LOAD->EXECUTE and reports decoupled\n"
+          "                     vs chained totals (Sec. 5F); retune\n"
+          "                     runs two stride phases and charges\n"
+          "                     a DynamicTuned mapping's displacedBy\n"
+          "                     relayout between them (Sec. 6);\n"
+          "                     stencil runs 3 shifted loads, a\n"
+          "                     chained execute, and a store\n"
+          "  --exec-latency N   execute pipeline depth of chain/\n"
+          "                     stencil EXECUTE steps (default 1)\n"
+          "  --retune-period N  accesses per stride phase of the\n"
+          "                     retune workload (default 1)\n"
           "  --ports LIST       simultaneous ports (default 1)\n"
           "  --port-mix M1/M2   per-port traffic mixes; each mix is\n"
           "                     comma-separated signed stride\n"
@@ -229,6 +243,21 @@ parseKind(const std::string &name)
                " (expected matched|sectioned|simple|dynamic|prand)");
 }
 
+sim::WorkloadKind
+parseWorkloadKind(const std::string &name)
+{
+    if (name == "single")
+        return sim::WorkloadKind::Single;
+    if (name == "chain")
+        return sim::WorkloadKind::Chain;
+    if (name == "retune")
+        return sim::WorkloadKind::Retune;
+    if (name == "stencil")
+        return sim::WorkloadKind::Stencil;
+    cfva_fatal("unknown workload: ", name,
+               " (expected single|chain|retune|stencil)");
+}
+
 std::vector<EngineKind>
 parseEngines(const std::string &name)
 {
@@ -286,6 +315,9 @@ struct Options
     unsigned randomStarts = 3;
     std::vector<std::uint64_t> ports = {1};
     std::vector<sim::PortMix> portMixes = {sim::PortMix{}};
+    std::vector<std::string> workloadNames = {"single"};
+    std::uint64_t execLatency = 1;
+    unsigned retunePeriod = 1;
     std::uint64_t seed = 0x5EEDF00Dull;
 
     unsigned threads = 0;
@@ -344,6 +376,20 @@ parseArgs(int argc, char **argv)
             o.ports = parseU64List(need(i, "--ports"), "--ports");
         } else if (a == "--port-mix") {
             o.portMixes = parsePortMixes(need(i, "--port-mix"));
+        } else if (a == "--workloads") {
+            o.workloadNames = splitList(need(i, "--workloads"));
+            if (o.workloadNames.empty())
+                cfva_fatal("empty --workloads list");
+        } else if (a == "--exec-latency") {
+            o.execLatency = parseU64(need(i, "--exec-latency"),
+                                     "--exec-latency");
+            if (o.execLatency == 0)
+                cfva_fatal("--exec-latency must be >= 1");
+        } else if (a == "--retune-period") {
+            o.retunePeriod = parseU32(need(i, "--retune-period"),
+                                      "--retune-period");
+            if (o.retunePeriod == 0)
+                cfva_fatal("--retune-period must be >= 1");
         } else if (a == "--seed") {
             o.seed = parseU64(need(i, "--seed"), "--seed");
         } else if (a == "--engine") {
@@ -448,8 +494,25 @@ buildGrid(const Options &o)
         grid.ports.push_back(static_cast<unsigned>(p));
     }
     grid.portMixes = o.portMixes;
+    grid.workloads.clear();
+    for (const auto &name : o.workloadNames) {
+        sim::Workload wl;
+        wl.kind = parseWorkloadKind(name);
+        wl.execLatency = o.execLatency;
+        wl.retunePeriod = o.retunePeriod;
+        grid.workloads.push_back(wl);
+    }
     grid.seed = o.seed;
     return grid;
+}
+
+/** True when the grid carries a workload worth its own summary. */
+bool
+wantsWorkloadSummary(const sim::ScenarioGrid &grid)
+{
+    return grid.workloads.size() > 1
+           || grid.workloads.front().kind
+                  != sim::WorkloadKind::Single;
 }
 
 double
@@ -474,10 +537,23 @@ struct BenchRun
     sim::SweepRunStats stats;
 };
 
+/** One per-workload --bench timing row: the grid narrowed to a
+ *  single workload program, so the perf trajectory tracks
+ *  program-level scenarios, not just raw accesses. */
+struct WorkloadBenchRun
+{
+    std::string label;
+    std::size_t jobs = 0;
+    double seconds = 0.0;
+    double scenariosPerSec = 0.0;
+};
+
 void
 writeBenchJson(const std::string &path, const Options &o,
                const sim::ScenarioGrid &grid,
-               const std::vector<BenchRun> &runs, bool identical)
+               const std::vector<BenchRun> &runs,
+               const std::vector<WorkloadBenchRun> &workloadRuns,
+               bool identical)
 {
     if (path == "none")
         return;
@@ -505,6 +581,15 @@ writeBenchJson(const std::string &path, const Options &o,
             << ", \"peak_pending_outcomes\": "
             << r.stats.peakPendingOutcomes << "}";
     }
+    out << "\n  ],\n  \"workloads\": [";
+    for (std::size_t i = 0; i < workloadRuns.size(); ++i) {
+        const WorkloadBenchRun &w = workloadRuns[i];
+        out << (i ? ",\n" : "\n") << "    {\"workload\": \""
+            << w.label << "\", \"jobs\": " << w.jobs
+            << ", \"seconds\": " << fixed(w.seconds, 6)
+            << ", \"scenarios_per_s\": "
+            << fixed(w.scenariosPerSec, 0) << "}";
+    }
     out << "\n  ]\n}\n";
 }
 
@@ -527,7 +612,8 @@ main(int argc, char **argv)
               << grid.strides.size() << " strides x "
               << grid.lengths.size() << " lengths x "
               << (grid.starts.size() + grid.randomStarts)
-              << " starts x " << grid.ports.size() << " ports x "
+              << " starts x " << grid.workloads.size()
+              << " workloads x " << grid.ports.size() << " ports x "
               << grid.portMixes.size() << " mixes = "
               << grid.jobCount() << " scenarios\n";
     if (o.shard.count > 1) {
@@ -604,6 +690,54 @@ main(int argc, char **argv)
         }
         t.print(info, "SweepEngine scaling [engine: " + engineNames
                           + "]");
+
+        // Per-workload timing rows: the same grid narrowed to each
+        // workload program in turn (first engine, first thread
+        // count), so BENCH_sweep.json tracks program-level
+        // scenarios — chain/retune/stencil sequences — not just
+        // raw accesses.  A single-workload grid reuses the first
+        // scaling run's timing: the narrowed grid would be the
+        // grid already timed.
+        std::vector<WorkloadBenchRun> workloadRuns;
+        {
+            TextTable wt({"workload", "jobs", "seconds",
+                          "scenarios/s"});
+            for (const auto &wl : grid.workloads) {
+                WorkloadBenchRun row;
+                row.label = wl.label();
+                if (grid.workloads.size() == 1) {
+                    row.jobs = first.jobs();
+                    row.seconds = runs.front().seconds;
+                    row.scenariosPerSec =
+                        runs.front().scenariosPerSec;
+                } else {
+                    sim::ScenarioGrid sub = grid;
+                    sub.workloads = {wl};
+                    sim::SweepOptions opts;
+                    opts.threads = static_cast<unsigned>(
+                        o.benchThreads.front());
+                    opts.grain = o.grain;
+                    opts.shard = o.shard;
+                    opts.engine = o.engines.front();
+                    sim::SweepReport r;
+                    row.seconds =
+                        timedRun(sim::SweepEngine(opts), sub, r);
+                    row.jobs = r.jobs();
+                    row.scenariosPerSec =
+                        static_cast<double>(r.jobs()) / row.seconds;
+                }
+                workloadRuns.push_back(row);
+                wt.row(row.label, row.jobs, fixed(row.seconds, 3),
+                       fixed(row.scenariosPerSec, 0));
+            }
+            wt.print(info, "Per-workload timing [engine: "
+                               + std::string(to_string(
+                                   o.engines.front()))
+                               + ", threads: "
+                               + std::to_string(
+                                   o.benchThreads.front())
+                               + "]");
+        }
         info << (allIdentical
                      ? "reports identical across thread counts "
                        "and engines\n"
@@ -628,7 +762,8 @@ main(int argc, char **argv)
                           1)
                  << "% of backend lookups reused)\n";
         }
-        writeBenchJson(o.benchJsonPath, o, grid, runs, allIdentical);
+        writeBenchJson(o.benchJsonPath, o, grid, runs, workloadRuns,
+                       allIdentical);
         if (!o.csvPath.empty()) {
             std::ofstream file;
             first.writeCsv(*openSink(o.csvPath, file));
@@ -685,6 +820,9 @@ main(int argc, char **argv)
                  << " outcomes in flight, window "
                  << stats.pendingWindow << ")\n";
             summary.summaryTable().print(info, "Sweep summary");
+            if (wantsWorkloadSummary(grid))
+                summary.workloadTable().print(info,
+                                              "Workload summary");
             info << summary.conflictFreeJobs() << " of "
                  << summary.jobs() << " scenarios conflict free\n";
             info << "backend cache: " << stats.backendCacheHits
@@ -733,6 +871,10 @@ main(int argc, char **argv)
 
     if (o.summary) {
         report.summaryTable().print(info, "Sweep summary");
+        if (wantsWorkloadSummary(grid)) {
+            sim::workloadSummaryTable(report.perWorkload())
+                .print(info, "Workload summary");
+        }
         info << report.conflictFreeJobs() << " of " << report.jobs()
              << " scenarios conflict free\n";
         info << "backend cache: " << firstStats.backendCacheHits
