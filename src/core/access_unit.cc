@@ -10,6 +10,7 @@
 #include "mapping/xor_sectioned.h"
 #include "memsys/backend.h"
 #include "memsys/backend_cache.h"
+#include "theory/theory_backend.h"
 
 namespace cfva {
 
@@ -359,9 +360,34 @@ VectorAccessUnit::plan(Addr a1, std::int64_t stride,
 
 AccessResult
 VectorAccessUnit::execute(const AccessPlan &plan,
-                          DeliveryArena *arena,
-                          BackendCache *cache) const
+                          DeliveryArena *arena, BackendCache *cache,
+                          TierPolicy tier, TierCounters *tiers) const
 {
+    cfva_assert(tier != TierPolicy::AuditBoth,
+                "AuditBoth is resolved by the caller running both "
+                "tiers; execute() takes a single tier");
+    if (tier == TierPolicy::TheoryFirst) {
+        if (cache) {
+            auto &tb = cache->theoryBackendFor(
+                cfg_.engine, cfg_.memConfig(), *mapping_);
+            AccessResult r = tb.runSingleHinted(
+                plan.expectConflictFree, plan.stream, arena);
+            if (tiers)
+                tiers->add(tb.lastClaimed());
+            return r;
+        }
+        TheoryBackend tb(
+            cfg_.memConfig(), *mapping_,
+            makeMemoryBackend(cfg_.engine, cfg_.memConfig(),
+                              *mapping_));
+        AccessResult r = tb.runSingleHinted(plan.expectConflictFree,
+                                            plan.stream, arena);
+        if (tiers)
+            tiers->add(tb.lastClaimed());
+        return r;
+    }
+    if (tiers)
+        tiers->add(false);
     if (cache) {
         return cache
             ->backendFor(cfg_.engine, cfg_.memConfig(), *mapping_)
@@ -374,8 +400,32 @@ VectorAccessUnit::execute(const AccessPlan &plan,
 MultiPortResult
 VectorAccessUnit::executePorts(
     const std::vector<std::vector<Request>> &streams,
-    DeliveryArena *arena, BackendCache *cache) const
+    DeliveryArena *arena, BackendCache *cache, TierPolicy tier,
+    TierCounters *tiers) const
 {
+    cfva_assert(tier != TierPolicy::AuditBoth,
+                "AuditBoth is resolved by the caller running both "
+                "tiers; executePorts() takes a single tier");
+    if (tier == TierPolicy::TheoryFirst) {
+        if (cache) {
+            auto &tb = cache->theoryBackendFor(
+                cfg_.engine, cfg_.memConfig(), *mapping_);
+            MultiPortResult r = tb.run(streams, arena);
+            if (tiers)
+                tiers->add(tb.lastClaimed());
+            return r;
+        }
+        TheoryBackend tb(
+            cfg_.memConfig(), *mapping_,
+            makeMemoryBackend(cfg_.engine, cfg_.memConfig(),
+                              *mapping_));
+        MultiPortResult r = tb.run(streams, arena);
+        if (tiers)
+            tiers->add(tb.lastClaimed());
+        return r;
+    }
+    if (tiers)
+        tiers->add(false);
     if (cache) {
         return cache
             ->backendFor(cfg_.engine, cfg_.memConfig(), *mapping_)

@@ -104,22 +104,37 @@ class VectorAccessUnit
      * (and built into it on first use) instead of being rebuilt for
      * this one access — the sweep engine passes each worker's cache
      * so modules and event heaps are reused across all scenarios.
+     *
+     * @p tier selects the evaluation tier: SimulateAlways runs the
+     * engine; TheoryFirst hands the plan to the analytic
+     * TheoryBackend (the plan's expectConflictFree classification is
+     * the claim hint) and simulates only when the claim is refused.
+     * AuditBoth is resolved a layer up (runScenario runs both tiers
+     * and compares); passing it here is an error.  When @p tiers is
+     * given, the access is attributed to it as claimed or fallback
+     * (under SimulateAlways: always fallback).
      */
     AccessResult execute(const AccessPlan &plan,
                          DeliveryArena *arena = nullptr,
-                         BackendCache *cache = nullptr) const;
+                         BackendCache *cache = nullptr,
+                         TierPolicy tier = TierPolicy::SimulateAlways,
+                         TierCounters *tiers = nullptr) const;
 
     /**
      * Runs P = streams.size() simultaneous request streams through
      * the port-aware backend selected by config().engine.  The
      * engine knob is honored for every port count; the per-cycle
      * and event-driven backends produce bit-identical results.
-     * @p cache as in execute().
+     * @p cache, @p tier, @p tiers as in execute(); the theory tier
+     * only claims P = 1 (multi-port schedules always simulate, and
+     * are attributed as fallbacks).
      */
     MultiPortResult
     executePorts(const std::vector<std::vector<Request>> &streams,
                  DeliveryArena *arena = nullptr,
-                 BackendCache *cache = nullptr) const;
+                 BackendCache *cache = nullptr,
+                 TierPolicy tier = TierPolicy::SimulateAlways,
+                 TierCounters *tiers = nullptr) const;
 
     /** plan() + execute() in one call. */
     AccessResult access(Addr a1, const Stride &s,

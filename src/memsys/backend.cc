@@ -20,6 +20,20 @@ to_string(EngineKind engine)
     return "?";
 }
 
+const char *
+to_string(TierPolicy tier)
+{
+    switch (tier) {
+      case TierPolicy::SimulateAlways:
+        return "sim";
+      case TierPolicy::TheoryFirst:
+        return "theory";
+      case TierPolicy::AuditBoth:
+        return "audit";
+    }
+    return "?";
+}
+
 std::vector<Delivery>
 DeliveryArena::acquire(std::size_t capacity)
 {
@@ -38,7 +52,23 @@ DeliveryArena::release(std::vector<Delivery> &&buf)
 {
     if (buf.capacity() == 0)
         return; // nothing worth pooling
+    if (buf.capacity() > kMaxPooledCapacity
+        || pool_.size() >= kMaxPooled) {
+        // Oversize buffers (and overflow beyond the pool bound) are
+        // freed here rather than retained: the vector's heap block
+        // is returned as `buf` goes out of scope.
+        return;
+    }
     pool_.push_back(std::move(buf));
+}
+
+std::size_t
+DeliveryArena::pooledBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &b : pool_)
+        bytes += b.capacity() * sizeof(Delivery);
+    return bytes;
 }
 
 std::unique_ptr<MemoryBackend>

@@ -49,24 +49,88 @@ enum class EngineKind
 const char *to_string(EngineKind engine);
 
 /**
+ * Which evaluation tier answers an access: the analytic theory
+ * fast path (theory/theory_backend.h), the simulation engines, or
+ * both with a bit-for-bit cross-check.  Lives here for the same
+ * reason as EngineKind: the dispatch is decided where the backends
+ * are, and every consumer honors one knob.
+ */
+enum class TierPolicy
+{
+    /** Always simulate — the historical behavior and the default. */
+    SimulateAlways,
+
+    /**
+     * Try the analytic TheoryBackend first; accesses it cannot
+     * prove conflict free fall back to the simulation engine.
+     * Claimed results are bit-identical to simulation by
+     * construction (the audit tier enforces it).
+     */
+    TheoryFirst,
+
+    /**
+     * Run both tiers on every scenario and flag any divergence —
+     * the --engine both idiom, across abstraction levels.
+     */
+    AuditBoth,
+};
+
+const char *to_string(TierPolicy tier);
+
+/** Per-run attribution of theory-tier claims vs fallbacks. */
+struct TierCounters
+{
+    std::uint64_t claimed = 0;  //!< accesses answered analytically
+    std::uint64_t fallback = 0; //!< accesses that simulated
+
+    void
+    add(bool wasClaimed)
+    {
+        if (wasClaimed)
+            ++claimed;
+        else
+            ++fallback;
+    }
+
+    bool operator==(const TierCounters &o) const = default;
+};
+
+/**
  * Freelist of Delivery buffers, recycled across accesses so tight
  * sweeps stop paying one heap allocation (plus growth doublings)
  * per simulated access.  Engines acquire() their result buffers
  * from it when one is supplied; the caller release()s the buffers
  * once the records have been consumed.  Not thread-safe: use one
  * arena per worker thread (the sweep engine keeps one per worker).
+ *
+ * The pool is bounded: at most kMaxPooled buffers are retained, and
+ * a released buffer whose capacity exceeds kMaxPooledCapacity is
+ * freed instead of pooled — one pathological large-L access must
+ * not pin a peak-sized buffer for the rest of a long sweep.
  */
 class DeliveryArena
 {
   public:
+    /** Most buffers the freelist retains; further releases free. */
+    static constexpr std::size_t kMaxPooled = 64;
+
+    /** Largest per-buffer capacity (in Delivery records) worth
+     *  retaining; oversize buffers are freed on release. */
+    static constexpr std::size_t kMaxPooledCapacity =
+        std::size_t{1} << 14;
+
     /** An empty buffer with at least @p capacity reserved. */
     std::vector<Delivery> acquire(std::size_t capacity);
 
-    /** Returns a buffer's capacity to the freelist. */
+    /** Returns a buffer's capacity to the freelist (or frees it
+     *  when the pool is full or the buffer is oversize). */
     void release(std::vector<Delivery> &&buf);
 
     /** Buffers currently pooled (for tests). */
     std::size_t pooled() const { return pool_.size(); }
+
+    /** Total bytes of capacity the pool retains (for tests). */
+    std::size_t pooledBytes() const;
 
   private:
     std::vector<std::vector<Delivery>> pool_;

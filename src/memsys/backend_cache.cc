@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "theory/theory_backend.h"
+
 namespace cfva {
 
 MemoryBackend &
@@ -22,6 +24,28 @@ BackendCache::backendFor(EngineKind engine, const MemConfig &cfg,
     entries_.insert(entries_.begin(),
                     Entry{key, makeMemoryBackend(engine, cfg, map)});
     return *entries_.front().backend;
+}
+
+TheoryBackend &
+BackendCache::theoryBackendFor(EngineKind engine, const MemConfig &cfg,
+                               const ModuleMapping &map)
+{
+    const Key key{engine, cfg.m, cfg.t, cfg.inputBuffers,
+                  cfg.outputBuffers, &map, /*theory=*/true};
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].key == key) {
+            ++stats_.hits;
+            if (i != 0)
+                std::swap(entries_[0], entries_[i]);
+            return static_cast<TheoryBackend &>(*entries_[0].backend);
+        }
+    }
+    ++stats_.misses;
+    entries_.insert(
+        entries_.begin(),
+        Entry{key, std::make_unique<TheoryBackend>(
+                       cfg, map, makeMemoryBackend(engine, cfg, map))});
+    return static_cast<TheoryBackend &>(*entries_.front().backend);
 }
 
 } // namespace cfva

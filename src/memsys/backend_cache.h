@@ -32,6 +32,8 @@
 
 namespace cfva {
 
+class TheoryBackend;
+
 /** Aggregate hit/miss counters, mergeable across workers. */
 struct BackendCacheStats
 {
@@ -61,6 +63,16 @@ class BackendCache
     MemoryBackend &backendFor(EngineKind engine, const MemConfig &cfg,
                               const ModuleMapping &map);
 
+    /**
+     * The analytic tier over the same shape: a TheoryBackend whose
+     * simulation fallback implements @p engine.  Cached separately
+     * from the plain simulation backend (the key carries a tier
+     * bit) so TierPolicy::AuditBoth can hold both at once.
+     */
+    TheoryBackend &theoryBackendFor(EngineKind engine,
+                                    const MemConfig &cfg,
+                                    const ModuleMapping &map);
+
     const BackendCacheStats &stats() const { return stats_; }
 
     /** Distinct backends currently cached. */
@@ -78,6 +90,7 @@ class BackendCache
         unsigned inputBuffers = 0;
         unsigned outputBuffers = 0;
         const ModuleMapping *map = nullptr;
+        bool theory = false; //!< analytic tier wrapping the engine
 
         bool operator==(const Key &o) const = default;
     };

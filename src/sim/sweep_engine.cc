@@ -62,6 +62,8 @@ SweepReport::perMapping() const
         r.totalLatency += o.latency;
         r.totalMinLatency += o.minLatency;
         r.totalStalls += o.stallCycles;
+        r.theoryClaimed += o.theoryClaimed;
+        r.theoryFallback += o.theoryFallback;
         effSum[o.mappingIndex] += o.efficiency();
     }
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -80,7 +82,8 @@ SweepReport::table() const
                  "min_latency", "stalls", "conflict_free",
                  "in_window", "efficiency", "accesses", "decoupled",
                  "chained", "chain_saved", "chainable", "retunes",
-                 "retune_cycles"});
+                 "retune_cycles", "tier", "theory_claimed",
+                 "theory_fallback"});
     for (const auto &o : outcomes) {
         t.row(o.index, mappingLabels[o.mappingIndex], o.stride,
               o.family, o.length, o.a1, o.ports,
@@ -90,7 +93,8 @@ SweepReport::table() const
               o.inWindow ? 1 : 0, fixed(o.efficiency(), 4),
               o.accesses, o.decoupledCycles, o.chainedCycles,
               o.chainSaved(), o.chainable ? 1 : 0, o.retunes,
-              o.retuneCycles);
+              o.retuneCycles, o.tierLabel(), o.theoryClaimed,
+              o.theoryFallback);
     }
     return t;
 }
@@ -99,11 +103,13 @@ TextTable
 mappingSummaryTable(const std::vector<MappingSummary> &rows)
 {
     TextTable t({"mapping", "jobs", "conflict-free", "total latency",
-                 "total stalls", "mean efficiency"});
+                 "total stalls", "mean efficiency", "theory hits"});
     for (const auto &r : rows) {
         t.row(r.label, r.jobs, ratio(r.conflictFree, r.jobs),
               r.totalLatency, r.totalStalls,
-              fixed(r.meanEfficiency, 4));
+              fixed(r.meanEfficiency, 4),
+              ratio(r.theoryClaimed,
+                    r.theoryClaimed + r.theoryFallback));
     }
     return t;
 }
@@ -271,6 +277,11 @@ struct AccessStats
     Cycle latency = 0;
     std::uint64_t stalls = 0;
     bool conflictFree = false;
+
+    /** Theory-tier attribution of this access (both 0 under
+     *  SimulateAlways). */
+    std::uint64_t claimed = 0;
+    std::uint64_t fallback = 0;
 };
 
 /**
@@ -285,16 +296,24 @@ AccessStats
 runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
                   const VectorAccessUnit &unit, Addr a1,
                   std::uint64_t baseStride, DeliveryArena *arena,
-                  BackendCache *cache, AccessResult *loadOut)
+                  BackendCache *cache, AccessResult *loadOut,
+                  TierPolicy tier)
 {
     AccessStats out;
+    // Attribution only runs while the theory tier is active, so
+    // SimulateAlways rows keep both counters at 0 and read "sim".
+    TierCounters tc;
+    TierCounters *tcp =
+        tier == TierPolicy::TheoryFirst ? &tc : nullptr;
     if (sc.ports <= 1) {
         AccessResult r = unit.execute(
             planPortStream(grid, sc, unit, 0, a1, baseStride), arena,
-            cache);
+            cache, tier, tcp);
         out.latency = r.latency;
         out.stalls = r.stallCycles;
         out.conflictFree = r.conflictFree;
+        out.claimed = tc.claimed;
+        out.fallback = tc.fallback;
         if (loadOut) {
             *loadOut = std::move(r);
         } else if (arena) {
@@ -315,7 +334,8 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
             planPortStream(grid, sc, unit, p, a1, baseStride)
                 .stream);
     }
-    MultiPortResult r = unit.executePorts(streams, arena, cache);
+    MultiPortResult r =
+        unit.executePorts(streams, arena, cache, tier, tcp);
     out.latency = r.makespan;
     for (auto &port : r.ports) {
         out.stalls += port.stallCycles;
@@ -323,6 +343,8 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
             arena->release(std::move(port.deliveries));
     }
     out.conflictFree = r.allConflictFree();
+    out.claimed = tc.claimed;
+    out.fallback = tc.fallback;
     return out;
 }
 
@@ -333,6 +355,8 @@ foldAccess(ScenarioOutcome &out, const AccessStats &a)
     out.latency += a.latency;
     out.stallCycles += a.stalls;
     out.conflictFree = out.conflictFree && a.conflictFree;
+    out.theoryClaimed += a.claimed;
+    out.theoryFallback += a.fallback;
 }
 
 /**
@@ -395,8 +419,40 @@ ScenarioOutcome
 SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                          const VectorAccessUnit &unit,
                          DeliveryArena *arena, BackendCache *cache,
-                         WorkloadUnits *workloads)
+                         WorkloadUnits *workloads, TierPolicy tier)
 {
+    if (tier == TierPolicy::AuditBoth) {
+        // Run the scenario under each tier and compare field for
+        // field.  The attribution columns legitimately differ
+        // (simulation never claims), so they are zeroed out of the
+        // comparison; everything the paper's model predicts —
+        // latency, stalls, chaining, retune charges — must match
+        // exactly.  The simulated outcome is returned as ground
+        // truth, wearing the theory run's attribution so audit rows
+        // still report the claim rate.
+        ScenarioOutcome simOut =
+            runScenario(grid, sc, unit, arena, cache, workloads,
+                        TierPolicy::SimulateAlways);
+        ScenarioOutcome thOut =
+            runScenario(grid, sc, unit, arena, cache, workloads,
+                        TierPolicy::TheoryFirst);
+        ScenarioOutcome cmp = thOut;
+        cmp.theoryClaimed = 0;
+        cmp.theoryFallback = 0;
+        const bool diverged = !(cmp == simOut);
+        simOut.theoryClaimed = thOut.theoryClaimed;
+        simOut.theoryFallback = thOut.theoryFallback;
+        simOut.tierAuditDiverged = diverged;
+        if (diverged) {
+            cfva_warn("tier audit divergence at job ", sc.index,
+                      ": stride=", sc.stride, " length=", sc.length,
+                      " a1=", sc.a1, " ports=", sc.ports,
+                      " (sim latency=", simOut.latency,
+                      ", theory latency=", thOut.latency, ")");
+        }
+        return simOut;
+    }
+
     const Stride stride(sc.stride);
     const Workload &wl = grid.workloads[sc.workloadIndex];
 
@@ -421,7 +477,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
         out.minLatency = floor1;
         foldAccess(out, runWorkloadAccess(grid, sc, unit, sc.a1,
                                           sc.stride, arena, cache,
-                                          nullptr));
+                                          nullptr, tier));
         return out;
       }
 
@@ -434,7 +490,8 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
         foldAccess(out,
                    runWorkloadAccess(grid, sc, unit, sc.a1,
                                      sc.stride, arena, cache,
-                                     capture ? &load : nullptr));
+                                     capture ? &load : nullptr,
+                                     tier));
         out.decoupledCycles = out.latency;
         out.chainedCycles = out.latency;
         applyExecuteStep(out, sc, wl, std::move(load), arena);
@@ -454,14 +511,15 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                            grid, sc, unit,
                            sc.a1 + Addr{tap} * sc.stride, sc.stride,
                            arena, cache,
-                           capture ? &lastLoad : nullptr));
+                           capture ? &lastLoad : nullptr, tier));
         }
         const Cycle loadTotal = out.latency;
         out.decoupledCycles = loadTotal;
         out.chainedCycles = loadTotal;
         applyExecuteStep(out, sc, wl, std::move(lastLoad), arena);
         const AccessStats store = runWorkloadAccess(
-            grid, sc, unit, sc.a1, sc.stride, arena, cache, nullptr);
+            grid, sc, unit, sc.a1, sc.stride, arena, cache, nullptr,
+            tier);
         foldAccess(out, store);
         out.decoupledCycles += store.latency;
         out.chainedCycles += store.latency;
@@ -528,7 +586,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                 foldAccess(out, runWorkloadAccess(
                                     grid, sc, *phaseUnit, sc.a1,
                                     phaseStride, arena, phaseCache,
-                                    nullptr));
+                                    nullptr, tier));
             }
         }
         // The relayout charge is part of the program's memory time:
@@ -579,6 +637,12 @@ struct WorkerArena
     // Recycles delivery buffers across this worker's scenarios so
     // the hot loop stops allocating one result vector per access.
     DeliveryArena deliveries;
+
+    // Tier attribution summed over this worker's outcomes; folded
+    // into SweepRunStats after the pool joins.
+    std::uint64_t theoryClaims = 0;
+    std::uint64_t theoryFallbacks = 0;
+    std::uint64_t auditDivergences = 0;
 
     const VectorAccessUnit &
     unitFor(const ScenarioGrid &grid, std::size_t mappingIndex,
@@ -798,7 +862,11 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
                     mine.unitFor(grid, sc.mappingIndex,
                                  opts_.engine),
                     &mine.deliveries, &mine.backends,
-                    &mine.workloads));
+                    &mine.workloads, opts_.tier));
+                const ScenarioOutcome &o = buf.back();
+                mine.theoryClaims += o.theoryClaimed;
+                mine.theoryFallbacks += o.theoryFallback;
+                mine.auditDivergences += o.tierAuditDiverged ? 1 : 0;
             }
             flush.push(chunk.first, std::move(buf));
             buf = {};
@@ -824,6 +892,9 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
     for (const auto &arena : arenas) {
         run.backendCacheHits += arena.backends.stats().hits;
         run.backendCacheMisses += arena.backends.stats().misses;
+        run.theoryClaims += arena.theoryClaims;
+        run.theoryFallbacks += arena.theoryFallbacks;
+        run.tierAuditDivergences += arena.auditDivergences;
     }
     if (stats)
         *stats = run;

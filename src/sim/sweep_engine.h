@@ -107,6 +107,29 @@ struct ScenarioOutcome
      *  (DynamicFieldMapping::displacedBy; included in latency). */
     Cycle retuneCycles = 0;
 
+    /** Accesses of this scenario the analytic theory tier answered
+     *  without simulating (0 under TierPolicy::SimulateAlways). */
+    std::uint64_t theoryClaimed = 0;
+
+    /** Accesses that fell back to the simulation engine while the
+     *  theory tier was active (0 under SimulateAlways). */
+    std::uint64_t theoryFallback = 0;
+
+    /** TierPolicy::AuditBoth found the tiers disagreeing on this
+     *  scenario.  Diagnostic only: excluded from CSV/JSON rows
+     *  (the audit run itself exits nonzero). */
+    bool tierAuditDiverged = false;
+
+    /** Which tier produced this row: "theory" when the theory tier
+     *  was active (it attributes every access as claimed or
+     *  fallback), "sim" otherwise.  AuditBoth rows carry the
+     *  theory attribution and so read "theory". */
+    const char *
+    tierLabel() const
+    {
+        return (theoryClaimed || theoryFallback) ? "theory" : "sim";
+    }
+
     /** minLatency / latency, the workload efficiency. */
     double efficiency() const;
 
@@ -128,6 +151,10 @@ struct MappingSummary
     Cycle totalLatency = 0;
     Cycle totalMinLatency = 0;
     std::uint64_t totalStalls = 0;
+
+    /** Theory-tier attribution summed over the mapping's jobs. */
+    std::uint64_t theoryClaimed = 0;
+    std::uint64_t theoryFallback = 0;
 
     /** Mean of per-access efficiencies. */
     double meanEfficiency = 0.0;
@@ -254,6 +281,18 @@ struct SweepRunStats
     std::uint64_t backendCacheHits = 0;
     std::uint64_t backendCacheMisses = 0;
 
+    /** Theory-tier attribution summed over all workers: claims
+     *  count accesses answered analytically, fallbacks count
+     *  accesses that simulated while the tier was active.  Both 0
+     *  under TierPolicy::SimulateAlways. */
+    std::uint64_t theoryClaims = 0;
+    std::uint64_t theoryFallbacks = 0;
+
+    /** Scenarios on which TierPolicy::AuditBoth caught the tiers
+     *  disagreeing (cfva_sweep --tier audit exits nonzero when
+     *  this is nonzero). */
+    std::uint64_t tierAuditDivergences = 0;
+
     /** High-water mark of outcomes parked in the ordered flush
      *  queue, and the admission window that bounds it — the
      *  streaming-mode peak memory is O(window), not O(jobs). */
@@ -300,6 +339,15 @@ struct SweepOptions
      * to the matching port-aware backend.
      */
     std::optional<EngineKind> engine;
+
+    /**
+     * Evaluation tier for every scenario: simulate (default),
+     * analytic theory fast path with simulation fallback, or both
+     * with a bit-for-bit cross-check (SweepRunStats counts the
+     * divergences).  Reports are identical across tiers by
+     * construction except for the tier-attribution columns.
+     */
+    TierPolicy tier = TierPolicy::SimulateAlways;
 
     /** Panics on an impossible shard spec.  Any grain (including
      *  0 = adaptive) and any thread count are valid. */
@@ -359,7 +407,12 @@ class SweepEngine
      * from it (the engine passes each worker's scratch); without
      * it, variants are built ephemerally — bypassing @p cache for
      * their accesses, since a cached backend must not outlive its
-     * mapping — and results are identical either way.
+     * mapping — and results are identical either way.  @p tier
+     * selects the evaluation tier; AuditBoth runs the scenario
+     * under both tiers, compares the outcomes field for field
+     * (modulo the attribution columns), and returns the simulated
+     * outcome with the theory attribution and the divergence flag
+     * attached.
      */
     static ScenarioOutcome runScenario(const ScenarioGrid &grid,
                                        const Scenario &sc,
@@ -367,7 +420,9 @@ class SweepEngine
                                        DeliveryArena *arena = nullptr,
                                        BackendCache *cache = nullptr,
                                        WorkloadUnits *workloads =
-                                           nullptr);
+                                           nullptr,
+                                       TierPolicy tier =
+                                           TierPolicy::SimulateAlways);
 
     const SweepOptions &options() const { return opts_; }
 

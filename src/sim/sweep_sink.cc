@@ -28,7 +28,8 @@ CsvStreamSink::begin(const SweepContext &ctx)
     os_ << "job,mapping,stride,family,length,a1,ports,port_mix,"
            "workload,latency,min_latency,stalls,conflict_free,"
            "in_window,efficiency,accesses,decoupled,chained,"
-           "chain_saved,chainable,retunes,retune_cycles\n";
+           "chain_saved,chainable,retunes,retune_cycles,tier,"
+           "theory_claimed,theory_fallback\n";
 }
 
 void
@@ -48,7 +49,8 @@ CsvStreamSink::consume(const ScenarioOutcome &o)
         << ',' << fixed(o.efficiency(), 4) << ',' << o.accesses
         << ',' << o.decoupledCycles << ',' << o.chainedCycles << ','
         << o.chainSaved() << ',' << (o.chainable ? 1 : 0) << ','
-        << o.retunes << ',' << o.retuneCycles << "\n";
+        << o.retunes << ',' << o.retuneCycles << ',' << o.tierLabel()
+        << ',' << o.theoryClaimed << ',' << o.theoryFallback << "\n";
 }
 
 void
@@ -85,7 +87,9 @@ JsonStreamSink::consume(const ScenarioOutcome &o)
         << ", \"chain_saved\": " << o.chainSaved()
         << ", \"chainable\": " << (o.chainable ? "true" : "false")
         << ", \"retunes\": " << o.retunes << ", \"retune_cycles\": "
-        << o.retuneCycles << "}";
+        << o.retuneCycles << ", \"tier\": \"" << o.tierLabel()
+        << "\", \"theory_claimed\": " << o.theoryClaimed
+        << ", \"theory_fallback\": " << o.theoryFallback << "}";
 }
 
 void
@@ -125,6 +129,8 @@ SummarySink::consume(const ScenarioOutcome &o)
     r.totalLatency += o.latency;
     r.totalMinLatency += o.minLatency;
     r.totalStalls += o.stallCycles;
+    r.theoryClaimed += o.theoryClaimed;
+    r.theoryFallback += o.theoryFallback;
     effSum_[o.mappingIndex] += o.efficiency();
     ++jobs_;
     conflictFree_ += o.conflictFree ? 1 : 0;

@@ -1,0 +1,114 @@
+#include "theory/theory_backend.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "theory/theory.h"
+
+namespace cfva {
+
+TheoryBackend::TheoryBackend(const MemConfig &cfg,
+                             const ModuleMapping &map,
+                             std::unique_ptr<MemoryBackend> fallback)
+    : cfg_(cfg), map_(map), fallback_(std::move(fallback))
+{
+    cfva_assert(fallback_ != nullptr,
+                "TheoryBackend needs a simulation fallback");
+}
+
+bool
+TheoryBackend::tryClaim(const std::vector<Request> &stream,
+                        DeliveryArena *arena, AccessResult &out)
+{
+    const Cycle T = cfg_.serviceCycles();
+    const std::size_t L = stream.size();
+
+    // The proof: under the simulator's timing contract the request
+    // issued at cycle i reaches its module at i+1.  If that module
+    // is still busy (nextFree > i+1) the element queues, the
+    // one-request-per-cycle cadence is broken, and the closed-form
+    // schedule no longer holds — reject and simulate.  If every
+    // request finds its module free on arrival, service starts the
+    // same cycle it arrives, the module is busy for T cycles, and
+    // ready times i+1+T are strictly increasing, so the return bus
+    // delivers each element the cycle it retires and never
+    // back-pressures the modules.  Input buffers never fill either:
+    // an element bound for the same module starts service (retire +
+    // start precede issue in the cycle order) before the next one
+    // is accepted.  The schedule below is therefore exact.
+    nextFree_.assign(cfg_.modules(), 0);
+    for (std::size_t i = 0; i < L; ++i) {
+        const ModuleId mod = map_.moduleOf(stream[i].addr);
+        cfva_assert(mod < cfg_.modules(),
+                    "mapping produced out-of-range module");
+        const Cycle arrive = static_cast<Cycle>(i) + 1;
+        if (nextFree_[mod] > arrive)
+            return false;
+        nextFree_[mod] = arrive + T;
+    }
+
+    out.deliveries =
+        arena ? arena->acquire(L) : std::vector<Delivery>{};
+    out.deliveries.reserve(L);
+    for (std::size_t i = 0; i < L; ++i) {
+        Delivery d;
+        d.addr = stream[i].addr;
+        d.element = stream[i].element;
+        d.module = map_.moduleOf(stream[i].addr);
+        d.issued = static_cast<Cycle>(i);
+        d.arrived = d.issued + 1;
+        d.serviceStart = d.arrived;
+        d.ready = d.serviceStart + T;
+        d.delivered = d.ready;
+        out.deliveries.push_back(d);
+    }
+    out.firstIssue = 0;
+    out.lastDelivery = L == 0 ? 0 : static_cast<Cycle>(L) + T;
+    out.latency =
+        L == 0 ? 0 : theory::minimumLatency(static_cast<Cycle>(L), T);
+    out.stallCycles = 0;
+    out.conflictFree = true;
+    return true;
+}
+
+AccessResult
+TheoryBackend::runSingleHinted(bool claimHint,
+                               const std::vector<Request> &stream,
+                               DeliveryArena *arena)
+{
+    if (claimHint) {
+        AccessResult out;
+        if (tryClaim(stream, arena, out)) {
+            lastClaimed_ = true;
+            stats_.add(true);
+            return out;
+        }
+    }
+    lastClaimed_ = false;
+    stats_.add(false);
+    return fallback_->runSingle(stream, arena);
+}
+
+AccessResult
+TheoryBackend::runSingle(const std::vector<Request> &stream,
+                         DeliveryArena *arena)
+{
+    return runSingleHinted(true, stream, arena);
+}
+
+MultiPortResult
+TheoryBackend::run(const std::vector<std::vector<Request>> &streams,
+                   DeliveryArena *arena)
+{
+    cfva_assert(!streams.empty(), "need at least one port");
+    if (streams.size() == 1)
+        return detail::wrapSinglePort(
+            runSingleHinted(true, streams[0], arena));
+    // P > 1 interleaves ports on the shared modules; that schedule
+    // is not single-port-equivalent, so it always simulates.
+    lastClaimed_ = false;
+    stats_.add(false);
+    return fallback_->run(streams, arena);
+}
+
+} // namespace cfva

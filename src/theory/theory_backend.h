@@ -1,0 +1,119 @@
+/**
+ * @file
+ * TheoryBackend: the analytic fast path of the tiered evaluator.
+ *
+ * The paper's whole argument is that conflict-freedom is *provable*
+ * in closed form (Theorems 1 and 3): inside a window the exact
+ * outcome of an access is known without simulating a cycle —
+ * latency = theory::minimumLatency(L, T), zero stalls, one delivery
+ * per cycle in issue order.  This backend turns that into an
+ * executable tier: it verifies a claim of conflict-freedom for a
+ * request stream in one O(L) pass over per-module next-free times
+ * and, when the proof goes through, synthesizes the exact
+ * AccessResult the simulation engines would produce — timestamps
+ * and all — directly from the timing contract (request issued at
+ * cycle i arrives at i+1, starts service immediately, retires and
+ * crosses the return bus at i+1+T).  Streams the proof rejects are
+ * delegated untouched to a wrapped simulation engine, so callers
+ * always get an answer and claimed answers are bit-identical to
+ * simulation by construction (tests/test_theory_backend.cc audits
+ * this across a randomized grid; TierPolicy::AuditBoth audits it on
+ * every sweep scenario it runs).
+ *
+ * The window classification itself (mapping kind + stride family
+ * against matchedWindow / sectionedWindows / ...) lives in the
+ * planner: VectorAccessUnit::plan sets AccessPlan::expectConflictFree
+ * from exactly those windows, and execute() passes it down as the
+ * claim hint — streams the theory does not cover skip the O(L)
+ * proof attempt and go straight to the engine.
+ *
+ * Claims are restricted to single-port-equivalent accesses: a P = 1
+ * multi-port run is lifted through detail::wrapSinglePort exactly
+ * like the simulation backends lift theirs, and P > 1 always falls
+ * back (inter-port bus arbitration is not a closed-form story).
+ */
+
+#ifndef CFVA_THEORY_THEORY_BACKEND_H
+#define CFVA_THEORY_THEORY_BACKEND_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memsys/backend.h"
+
+namespace cfva {
+
+/**
+ * MemoryBackend that answers provably conflict-free streams
+ * analytically and delegates everything else to a wrapped
+ * simulation engine.  Like the engines it wraps, it is stateless
+ * across run() calls and cacheable per (engine, config, mapping);
+ * the mapping must outlive the backend.
+ */
+class TheoryBackend final : public MemoryBackend
+{
+  public:
+    /**
+     * @param cfg       memory shape the claims are proved against
+     * @param map       address mapping (must outlive the backend)
+     * @param fallback  simulation backend for rejected streams
+     */
+    TheoryBackend(const MemConfig &cfg, const ModuleMapping &map,
+                  std::unique_ptr<MemoryBackend> fallback);
+
+    MultiPortResult
+    run(const std::vector<std::vector<Request>> &streams,
+        DeliveryArena *arena = nullptr) override;
+
+    AccessResult
+    runSingle(const std::vector<Request> &stream,
+              DeliveryArena *arena = nullptr) override;
+
+    const char *name() const override { return "theory"; }
+
+    /**
+     * runSingle with the planner's window classification: when
+     * @p claimHint is false the O(L) proof is skipped and the
+     * stream simulates directly (the windows already say it
+     * conflicts); when true the claim is attempted.  The plain
+     * runSingle() always attempts.
+     */
+    AccessResult
+    runSingleHinted(bool claimHint,
+                    const std::vector<Request> &stream,
+                    DeliveryArena *arena = nullptr);
+
+    /** True iff the most recent run()/runSingle() was answered
+     *  analytically. */
+    bool lastClaimed() const { return lastClaimed_; }
+
+    /** Cumulative claim/fallback counts over this instance. */
+    const TierCounters &stats() const { return stats_; }
+
+    /** The wrapped simulation engine (for diagnostics). */
+    MemoryBackend &fallback() { return *fallback_; }
+
+  private:
+    /**
+     * The O(L) claim proof + synthesis: walks the stream once,
+     * tracking each module's next-free cycle; if every request
+     * finds its module free on arrival the conflict-free schedule
+     * is exact and @p out is filled with the synthesized result.
+     * Returns false (leaving @p out untouched beyond scratch) when
+     * any request would queue.
+     */
+    bool tryClaim(const std::vector<Request> &stream,
+                  DeliveryArena *arena, AccessResult &out);
+
+    MemConfig cfg_;
+    const ModuleMapping &map_;
+    std::unique_ptr<MemoryBackend> fallback_;
+    std::vector<Cycle> nextFree_; // per-module scratch
+    TierCounters stats_;
+    bool lastClaimed_ = false;
+};
+
+} // namespace cfva
+
+#endif // CFVA_THEORY_THEORY_BACKEND_H

@@ -438,6 +438,51 @@ TEST(MultiPortDifferential, ArenaDoesNotChangeResults)
     EXPECT_EQ(arena.pooled(), 0u);
 }
 
+TEST(MultiPortDifferential, ArenaPoolIsBounded)
+{
+    // One pathological large-L access must not pin a peak-sized
+    // buffer for the rest of a sweep, and runaway release loops
+    // must not grow the freelist without bound.
+    DeliveryArena arena;
+
+    // Oversize buffers are freed on release, not pooled: the
+    // pooled byte count is the same before and after.
+    std::vector<Delivery> huge;
+    huge.reserve(DeliveryArena::kMaxPooledCapacity + 1);
+    const std::size_t bytesBefore = arena.pooledBytes();
+    const std::size_t countBefore = arena.pooled();
+    arena.release(std::move(huge));
+    EXPECT_EQ(arena.pooledBytes(), bytesBefore);
+    EXPECT_EQ(arena.pooled(), countBefore);
+
+    // A buffer at exactly the cap still pools.
+    std::vector<Delivery> atCap;
+    atCap.reserve(DeliveryArena::kMaxPooledCapacity);
+    arena.release(std::move(atCap));
+    EXPECT_EQ(arena.pooled(), 1u);
+    EXPECT_GE(arena.pooledBytes(),
+              DeliveryArena::kMaxPooledCapacity * sizeof(Delivery));
+
+    // The pool count is capped: releases beyond kMaxPooled free
+    // their buffers instead of retaining them.
+    for (std::size_t i = 0; i < 2 * DeliveryArena::kMaxPooled; ++i) {
+        std::vector<Delivery> buf;
+        buf.reserve(8);
+        arena.release(std::move(buf));
+    }
+    EXPECT_EQ(arena.pooled(), DeliveryArena::kMaxPooled);
+    const std::size_t bytesAtCap = arena.pooledBytes();
+    std::vector<Delivery> overflow;
+    overflow.reserve(8);
+    arena.release(std::move(overflow));
+    EXPECT_EQ(arena.pooled(), DeliveryArena::kMaxPooled);
+    EXPECT_EQ(arena.pooledBytes(), bytesAtCap);
+
+    // Unused capacity (capacity 0) is never worth pooling.
+    arena.release(std::vector<Delivery>{});
+    EXPECT_EQ(arena.pooled(), DeliveryArena::kMaxPooled);
+}
+
 TEST(MultiPortDifferential, RejectsEmptyPortList)
 {
     test::ScopedPanicThrow guard;

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "core/access_unit.h"
+#include "sim/cli.h"
 #include "sim/scenario.h"
 #include "sim/sweep_engine.h"
 #include "test_util.h"
@@ -203,7 +204,7 @@ TEST(SweepEngine, ReportAggregatesAreConsistent)
     EXPECT_EQ(jobs, report.jobs());
 
     EXPECT_EQ(report.table().rows(), report.jobs());
-    EXPECT_EQ(report.table().columns(), 22u);
+    EXPECT_EQ(report.table().columns(), 25u);
 }
 
 TEST(SweepEngine, RejectsInvalidGrids)
@@ -221,6 +222,87 @@ TEST(SweepEngine, RejectsInvalidGrids)
     zero_ports.strides = {1};
     zero_ports.ports = {0};
     EXPECT_THROW(SweepEngine().run(zero_ports),
+                 std::runtime_error);
+}
+
+// The strict list parsers behind cfva_sweep's --kinds/--workloads/
+// --tunes/--port-mix: empty items and silent duplicates used to
+// inflate grids or mask typos; now they are hard errors naming the
+// flag and the offending token.
+TEST(SweepCli, SplitFlagListAcceptsCleanLists)
+{
+    EXPECT_EQ(splitFlagList("--kinds", "matched"),
+              (std::vector<std::string>{"matched"}));
+    EXPECT_EQ(splitFlagList("--kinds", "matched,sectioned,prand"),
+              (std::vector<std::string>{"matched", "sectioned",
+                                        "prand"}));
+    // Duplicates are data when the caller says so (--port-mix
+    // groups).
+    EXPECT_EQ(splitFlagList("--port-mix", "1,1,2",
+                            /*allowDuplicates=*/true),
+              (std::vector<std::string>{"1", "1", "2"}));
+}
+
+TEST(SweepCli, SplitFlagListRejectsEmptyAndDuplicateItems)
+{
+    test::ScopedPanicThrow guard;
+    EXPECT_THROW(splitFlagList("--kinds", ""), std::runtime_error);
+    EXPECT_THROW(splitFlagList("--kinds", "matched,,matched"),
+                 std::runtime_error);
+    EXPECT_THROW(splitFlagList("--kinds", ",matched"),
+                 std::runtime_error);
+    EXPECT_THROW(splitFlagList("--kinds", "matched,"),
+                 std::runtime_error);
+    EXPECT_THROW(splitFlagList("--kinds", "matched,matched"),
+                 std::runtime_error);
+    EXPECT_THROW(splitFlagList("--tunes", "3,3"),
+                 std::runtime_error);
+
+    // The error names the flag and the offending token.
+    try {
+        splitFlagList("--workloads", "single,single");
+        FAIL() << "duplicate item not rejected";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("--workloads"), std::string::npos);
+        EXPECT_NE(what.find("single"), std::string::npos);
+    }
+}
+
+TEST(SweepCli, ParsePortMixFlagParsesGroups)
+{
+    const auto mixes = parsePortMixFlag("--port-mix", "1,3/1,-1");
+    ASSERT_EQ(mixes.size(), 2u);
+    EXPECT_EQ(mixes[0].multipliers,
+              (std::vector<std::int64_t>{1, 3}));
+    EXPECT_EQ(mixes[1].multipliers,
+              (std::vector<std::int64_t>{1, -1}));
+
+    // Duplicate multipliers inside one group are a meaningful
+    // traffic pattern, not an error.
+    const auto clones = parsePortMixFlag("--port-mix", "1,1,2");
+    ASSERT_EQ(clones.size(), 1u);
+    EXPECT_EQ(clones[0].multipliers,
+              (std::vector<std::int64_t>{1, 1, 2}));
+}
+
+TEST(SweepCli, ParsePortMixFlagRejectsMalformedLists)
+{
+    test::ScopedPanicThrow guard;
+    EXPECT_THROW(parsePortMixFlag("--port-mix", ""),
+                 std::runtime_error);
+    EXPECT_THROW(parsePortMixFlag("--port-mix", "1,3/"),
+                 std::runtime_error);
+    EXPECT_THROW(parsePortMixFlag("--port-mix", "1,,3"),
+                 std::runtime_error);
+    EXPECT_THROW(parsePortMixFlag("--port-mix", "1,3,"),
+                 std::runtime_error);
+    EXPECT_THROW(parsePortMixFlag("--port-mix", "0"),
+                 std::runtime_error);
+    EXPECT_THROW(parsePortMixFlag("--port-mix", "x"),
+                 std::runtime_error);
+    // Duplicate mixes ACROSS groups double the grid silently.
+    EXPECT_THROW(parsePortMixFlag("--port-mix", "1,3/1,3"),
                  std::runtime_error);
 }
 

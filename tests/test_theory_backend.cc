@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the tiered evaluator (src/theory/theory_backend.{h,cc}).
+ *
+ * The theory tier's whole contract is bit-identity: an access it
+ * claims must produce exactly the AccessResult the simulation
+ * engines would — latency, stalls, and every delivery timestamp.
+ * The randomized audit grid here drives all mapping kinds across
+ * strides inside and outside the paper's windows, lengths around
+ * the register size, and both port counts, comparing the TheoryFirst
+ * tier against pure simulation bit for bit and requiring a nonzero
+ * claim rate.  Alongside it: unit tests of the claim/fallback
+ * mechanics, sweep-level AuditBoth runs, and property tests pinning
+ * the theory identities the fast path leans on.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/access_unit.h"
+#include "memsys/backend_cache.h"
+#include "sim/sweep_engine.h"
+#include "test_util.h"
+#include "theory/theory.h"
+#include "theory/theory_backend.h"
+
+namespace cfva {
+namespace {
+
+VectorUnitConfig
+matchedConfig()
+{
+    VectorUnitConfig cfg;
+    cfg.kind = MemoryKind::Matched;
+    cfg.t = 2;
+    cfg.lambda = 6;
+    return cfg;
+}
+
+/** TheoryBackend over @p unit's mapping, wrapping a fresh engine. */
+TheoryBackend
+theoryOver(const VectorAccessUnit &unit, EngineKind engine)
+{
+    return TheoryBackend(
+        unit.memConfig(), unit.mapping(),
+        makeMemoryBackend(engine, unit.memConfig(), unit.mapping()));
+}
+
+TEST(TheoryBackend, ClaimedStreamIsBitIdenticalToSimulation)
+{
+    const VectorAccessUnit unit(matchedConfig());
+    // Stride 1 is deep inside the Theorem 1 window: the plan is
+    // conflict free and the claim must go through.
+    const AccessPlan plan = unit.plan(0, Stride(1), 64);
+    ASSERT_TRUE(plan.expectConflictFree);
+
+    for (EngineKind engine :
+         {EngineKind::PerCycle, EngineKind::EventDriven}) {
+        TheoryBackend tb = theoryOver(unit, engine);
+        const AccessResult claimed = tb.runSingle(plan.stream);
+        EXPECT_TRUE(tb.lastClaimed());
+        EXPECT_EQ(tb.stats().claimed, 1u);
+        EXPECT_EQ(tb.stats().fallback, 0u);
+
+        const AccessResult simulated =
+            tb.fallback().runSingle(plan.stream);
+        EXPECT_EQ(claimed, simulated)
+            << "claimed result diverges from " << to_string(engine);
+        EXPECT_TRUE(claimed.conflictFree);
+        EXPECT_EQ(claimed.latency,
+                  theory::minimumLatency(
+                      64, unit.memConfig().serviceCycles()));
+    }
+}
+
+TEST(TheoryBackend, ConflictedStreamFallsBack)
+{
+    const VectorAccessUnit unit(matchedConfig());
+    // Family 6 is outside the matched window [0, s=4]: the
+    // canonical-order stream conflicts and the claim must refuse.
+    const AccessPlan plan = unit.plan(0, Stride(64), 64);
+    ASSERT_FALSE(plan.expectConflictFree);
+
+    TheoryBackend tb = theoryOver(unit, EngineKind::EventDriven);
+    const AccessResult viaTier = tb.runSingle(plan.stream);
+    EXPECT_FALSE(tb.lastClaimed());
+    EXPECT_EQ(tb.stats().claimed, 0u);
+    EXPECT_EQ(tb.stats().fallback, 1u);
+
+    const AccessResult simulated =
+        tb.fallback().runSingle(plan.stream);
+    EXPECT_EQ(viaTier, simulated);
+    EXPECT_FALSE(viaTier.conflictFree);
+}
+
+TEST(TheoryBackend, HintFalseSkipsTheClaim)
+{
+    const VectorAccessUnit unit(matchedConfig());
+    const AccessPlan plan = unit.plan(0, Stride(1), 64);
+    TheoryBackend tb = theoryOver(unit, EngineKind::EventDriven);
+
+    // Even a provably conflict-free stream simulates when the
+    // planner's window classification says it won't be — the hint
+    // gates the O(L) proof attempt.
+    const AccessResult hinted =
+        tb.runSingleHinted(false, plan.stream);
+    EXPECT_FALSE(tb.lastClaimed());
+    EXPECT_EQ(tb.stats().fallback, 1u);
+    EXPECT_EQ(hinted, tb.fallback().runSingle(plan.stream));
+}
+
+TEST(TheoryBackend, EmptyStreamIsClaimedTrivially)
+{
+    const VectorAccessUnit unit(matchedConfig());
+    TheoryBackend tb = theoryOver(unit, EngineKind::PerCycle);
+    const AccessResult empty = tb.runSingle({});
+    EXPECT_TRUE(tb.lastClaimed());
+    EXPECT_EQ(empty, tb.fallback().runSingle({}));
+    EXPECT_TRUE(empty.conflictFree);
+    EXPECT_EQ(empty.latency, 0u);
+    EXPECT_TRUE(empty.deliveries.empty());
+}
+
+TEST(TheoryBackend, SinglePortRunLiftsLikeTheEngines)
+{
+    const VectorAccessUnit unit(matchedConfig());
+    const AccessPlan plan = unit.plan(0, Stride(1), 64);
+    TheoryBackend tb = theoryOver(unit, EngineKind::EventDriven);
+
+    const MultiPortResult lifted = tb.run({plan.stream});
+    EXPECT_TRUE(tb.lastClaimed());
+    EXPECT_EQ(lifted, tb.fallback().run({plan.stream}));
+    ASSERT_EQ(lifted.ports.size(), 1u);
+    EXPECT_TRUE(lifted.ports[0].conflictFree);
+}
+
+TEST(TheoryBackend, MultiPortAlwaysFallsBack)
+{
+    const VectorAccessUnit unit(matchedConfig());
+    const AccessPlan plan = unit.plan(0, Stride(1), 64);
+    TheoryBackend tb = theoryOver(unit, EngineKind::EventDriven);
+
+    const std::vector<std::vector<Request>> streams = {plan.stream,
+                                                       plan.stream};
+    const MultiPortResult viaTier = tb.run(streams);
+    EXPECT_FALSE(tb.lastClaimed());
+    EXPECT_EQ(tb.stats().fallback, 1u);
+    EXPECT_EQ(viaTier, tb.fallback().run(streams));
+}
+
+TEST(TheoryBackend, CacheKeepsTiersSeparate)
+{
+    const VectorAccessUnit unit(matchedConfig());
+    BackendCache cache;
+    MemoryBackend &sim = cache.backendFor(
+        EngineKind::EventDriven, unit.memConfig(), unit.mapping());
+    TheoryBackend &tb = cache.theoryBackendFor(
+        EngineKind::EventDriven, unit.memConfig(), unit.mapping());
+    EXPECT_NE(&sim, static_cast<MemoryBackend *>(&tb));
+    EXPECT_EQ(cache.size(), 2u);
+
+    // Repeat lookups hit their own entries.
+    EXPECT_EQ(&cache.theoryBackendFor(EngineKind::EventDriven,
+                                      unit.memConfig(),
+                                      unit.mapping()),
+              &tb);
+    EXPECT_EQ(&cache.backendFor(EngineKind::EventDriven,
+                                unit.memConfig(), unit.mapping()),
+              &sim);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+/** Grid of unit configurations spanning every mapping kind. */
+std::vector<VectorUnitConfig>
+auditConfigs()
+{
+    std::vector<VectorUnitConfig> cfgs;
+    VectorUnitConfig base;
+    base.t = 2;
+    base.lambda = 6;
+
+    VectorUnitConfig matched = base;
+    matched.kind = MemoryKind::Matched;
+    cfgs.push_back(matched);
+
+    VectorUnitConfig sectioned = base;
+    sectioned.kind = MemoryKind::Sectioned;
+    cfgs.push_back(sectioned);
+
+    VectorUnitConfig simple = base;
+    simple.kind = MemoryKind::SimpleUnmatched;
+    simple.mOverride = 3; // s = 4 >= m = 3
+    cfgs.push_back(simple);
+
+    VectorUnitConfig dynamic = base;
+    dynamic.kind = MemoryKind::DynamicTuned;
+    dynamic.dynamicTune = 2;
+    cfgs.push_back(dynamic);
+
+    VectorUnitConfig prand = base;
+    prand.kind = MemoryKind::PseudoRandom;
+    cfgs.push_back(prand);
+
+    return cfgs;
+}
+
+// The acceptance audit: every mapping kind x strides spanning
+// in- and out-of-window families x lengths around the register
+// size x randomized starts x both port counts.  Every access the
+// theory tier claims must be bit-identical to the simulation
+// engines, and the tier must claim a nonzero share of the grid.
+TEST(TheoryBackendAudit, RandomizedGridIsBitIdenticalOnClaims)
+{
+    Rng rng(0xA0D17ull);
+    std::uint64_t claimed = 0;
+    std::uint64_t fallback = 0;
+
+    for (const VectorUnitConfig &baseCfg : auditConfigs()) {
+        for (EngineKind engine :
+             {EngineKind::PerCycle, EngineKind::EventDriven}) {
+            VectorUnitConfig cfg = baseCfg;
+            cfg.engine = engine;
+            const VectorAccessUnit unit(cfg);
+            const std::uint64_t reg = cfg.registerLength();
+
+            BackendCache theoryCache;
+            BackendCache simCache;
+
+            for (unsigned family = 0; family <= 7; ++family) {
+                for (std::uint64_t sigma : {1ull, 3ull}) {
+                    const std::uint64_t stride = sigma << family;
+                    for (std::uint64_t length :
+                         {reg, reg / 2, reg * 2, std::uint64_t{5}}) {
+                        const Addr a1 =
+                            rng.below(2) ? 0 : rng.below(1u << 16);
+
+                        // Single port: plan once, execute under
+                        // each tier, compare bit for bit.
+                        const AccessPlan plan =
+                            unit.plan(a1, Stride(stride), length);
+                        TierCounters tc;
+                        const AccessResult viaTier = unit.execute(
+                            plan, nullptr, &theoryCache,
+                            TierPolicy::TheoryFirst, &tc);
+                        const AccessResult simulated = unit.execute(
+                            plan, nullptr, &simCache);
+                        EXPECT_EQ(viaTier, simulated)
+                            << cfg.describe() << " engine="
+                            << to_string(engine) << " stride="
+                            << stride << " length=" << length
+                            << " a1=" << a1;
+                        claimed += tc.claimed;
+                        fallback += tc.fallback;
+
+                        // Two ports: the tier must fall back, and
+                        // falling back must not disturb results.
+                        const std::vector<std::vector<Request>>
+                            streams = {plan.stream, plan.stream};
+                        const MultiPortResult tierPorts =
+                            unit.executePorts(
+                                streams, nullptr, &theoryCache,
+                                TierPolicy::TheoryFirst, &tc);
+                        const MultiPortResult simPorts =
+                            unit.executePorts(streams, nullptr,
+                                              &simCache);
+                        EXPECT_EQ(tierPorts, simPorts)
+                            << cfg.describe() << " ports=2 stride="
+                            << stride << " length=" << length;
+                    }
+                }
+            }
+        }
+    }
+
+    // The default-style grid is mostly conflict free by
+    // construction; a silent claim rate of zero would mean the
+    // fast path never engaged and the audit proved nothing.
+    EXPECT_GT(claimed, 0u);
+    EXPECT_GT(fallback, 0u);
+    const double rate =
+        static_cast<double>(claimed)
+        / static_cast<double>(claimed + fallback);
+    std::printf("theory tier claim rate: %llu/%llu (%.1f%%)\n",
+                static_cast<unsigned long long>(claimed),
+                static_cast<unsigned long long>(claimed + fallback),
+                100.0 * rate);
+}
+
+sim::ScenarioGrid
+mixedGrid()
+{
+    sim::ScenarioGrid grid;
+    for (const VectorUnitConfig &cfg : auditConfigs())
+        grid.mappings.push_back(cfg);
+    grid.addFamilies(0, 7, {1, 3});
+    grid.lengths = {0, 5};
+    grid.starts = {0};
+    grid.randomStarts = 1;
+    grid.ports = {1, 2};
+    grid.seed = 0xC0FFEEull;
+    return grid;
+}
+
+TEST(TheoryBackendAudit, AuditBothSweepFindsNoDivergence)
+{
+    sim::SweepOptions opts;
+    opts.tier = TierPolicy::AuditBoth;
+    sim::SweepRunStats stats;
+    const sim::SweepReport report =
+        sim::SweepEngine(opts).run(mixedGrid(), &stats);
+
+    EXPECT_EQ(stats.tierAuditDivergences, 0u);
+    EXPECT_GT(stats.theoryClaims, 0u);
+    EXPECT_GT(stats.theoryFallbacks, 0u);
+    for (const auto &o : report.outcomes)
+        EXPECT_FALSE(o.tierAuditDiverged) << "job " << o.index;
+}
+
+TEST(TheoryBackendAudit, TierChangesOnlyAttributionColumns)
+{
+    const sim::ScenarioGrid grid = mixedGrid();
+    sim::SweepOptions simOpts;
+    const sim::SweepReport simulated =
+        sim::SweepEngine(simOpts).run(grid);
+
+    sim::SweepOptions theoryOpts;
+    theoryOpts.tier = TierPolicy::TheoryFirst;
+    sim::SweepRunStats stats;
+    const sim::SweepReport theory =
+        sim::SweepEngine(theoryOpts).run(grid, &stats);
+    EXPECT_GT(stats.theoryClaims, 0u);
+
+    ASSERT_EQ(theory.outcomes.size(), simulated.outcomes.size());
+    for (std::size_t i = 0; i < theory.outcomes.size(); ++i) {
+        sim::ScenarioOutcome normalized = theory.outcomes[i];
+        EXPECT_EQ(normalized.tierLabel(), std::string("theory"));
+        normalized.theoryClaimed = 0;
+        normalized.theoryFallback = 0;
+        EXPECT_EQ(normalized, simulated.outcomes[i])
+            << "job " << i << " differs beyond tier attribution";
+    }
+}
+
+// Property tests pinning the closed-form identities the fast path
+// leans on: a formula regression here would silently corrupt
+// analytic answers long before a simulation disagreed.
+TEST(TheoryIdentities, WindowFractionMatchesConflictFreeFraction)
+{
+    for (unsigned w = 0; w <= 12; ++w) {
+        EXPECT_DOUBLE_EQ(
+            theory::windowFraction({0, static_cast<int>(w)}),
+            theory::conflictFreeFraction(w))
+            << "w=" << w;
+    }
+}
+
+TEST(TheoryIdentities, EmptyWindowHasZeroFraction)
+{
+    EXPECT_EQ(theory::windowFraction(theory::FamilyWindow{}), 0.0);
+    EXPECT_EQ(theory::windowFraction({5, 2}), 0.0);
+    EXPECT_EQ(theory::FamilyWindow{}.families(), 0u);
+}
+
+TEST(TheoryIdentities, PeriodsClampAtTheWindowBoundary)
+{
+    for (unsigned s = 2; s <= 6; ++s) {
+        for (unsigned t = 1; t <= 3; ++t) {
+            // Below the boundary the period halves per family...
+            EXPECT_EQ(theory::periodMatched(s, t, s + t - 1), 2u);
+            // ...reaches 1 exactly at x = s+t...
+            EXPECT_EQ(theory::periodMatched(s, t, s + t), 1u);
+            // ...and clamps (not underflows) beyond it.
+            EXPECT_EQ(theory::periodMatched(s, t, s + t + 1), 1u);
+            EXPECT_EQ(theory::periodMatched(s, t, s + t + 17), 1u);
+
+            const unsigned y = s;
+            EXPECT_EQ(theory::periodSectioned(y, t, y + t - 1), 2u);
+            EXPECT_EQ(theory::periodSectioned(y, t, y + t), 1u);
+            EXPECT_EQ(theory::periodSectioned(y, t, y + t + 1), 1u);
+        }
+    }
+}
+
+TEST(TheoryIdentities, FusedWindowRoundTrips)
+{
+    for (unsigned t = 2; t <= 3; ++t) {
+        for (unsigned lambda = 2 * t; lambda <= 8; ++lambda) {
+            const unsigned s = theory::recommendedS(t, lambda);
+            const unsigned y = theory::recommendedY(t, lambda);
+            const auto wins =
+                theory::sectionedWindows(s, y, t, lambda);
+            ASSERT_TRUE(wins.fused())
+                << "recommended s/y must fuse (t=" << t
+                << ", lambda=" << lambda << ")";
+            const theory::FamilyWindow fused = wins.fusedWindow();
+            EXPECT_EQ(fused.lo, wins.low.lo);
+            EXPECT_EQ(fused.hi, wins.high.hi);
+            EXPECT_EQ(fused.families(),
+                      wins.low.families() + wins.high.families());
+            // Every family of the fused window belongs to exactly
+            // one constituent window.
+            for (int x = fused.lo; x <= fused.hi; ++x) {
+                const unsigned ux = static_cast<unsigned>(x);
+                EXPECT_NE(wins.low.contains(ux),
+                          wins.high.contains(ux))
+                    << "x=" << x;
+                EXPECT_TRUE(fused.contains(ux));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace cfva

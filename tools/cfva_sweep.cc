@@ -28,6 +28,7 @@
 
 #include "cfva/cfva.h"
 #include "common/logging.h"
+#include "sim/cli.h"
 #include "sim/sweep_sink.h"
 
 using namespace cfva;
@@ -87,6 +88,14 @@ usage(std::ostream &os)
           "                     each engine, cross-checks the\n"
           "                     reports bit for bit, and exits\n"
           "                     non-zero on any mismatch\n"
+          "  --tier T           sim | theory | audit (default sim):\n"
+          "                     'theory' answers provably conflict-\n"
+          "                     free accesses analytically (zero\n"
+          "                     cycles simulated) and falls back to\n"
+          "                     the engine otherwise; 'audit' runs\n"
+          "                     both tiers on every scenario,\n"
+          "                     cross-checks them bit for bit, and\n"
+          "                     exits non-zero on any divergence\n"
           "  --threads N        worker threads (0 = all cores)\n"
           "  --grain N          jobs per work item (0 = adaptive,\n"
           "                     the default: ~8 chunks per worker)\n"
@@ -157,51 +166,15 @@ parseU64List(const std::string &arg, const char *what)
     return vals;
 }
 
-std::int64_t
-parseI64(const std::string &arg, const char *what)
+/** sim::splitFlagList + parseU64 per item: a strict numeric list
+ *  (empty items and duplicates are hard errors naming the flag). */
+std::vector<std::uint64_t>
+strictU64List(const char *flag, const std::string &arg)
 {
-    try {
-        std::size_t used = 0;
-        const std::int64_t v = std::stoll(arg, &used);
-        if (used != arg.size() || arg.empty())
-            throw std::invalid_argument(arg);
-        return v;
-    } catch (const std::exception &) {
-        cfva_fatal("bad ", what, " value: ", arg);
-    }
-}
-
-/** Parses "1,3/1,-1" into one PortMix per '/'-separated group. */
-std::vector<sim::PortMix>
-parsePortMixes(const std::string &arg)
-{
-    std::vector<sim::PortMix> mixes;
-    if (!arg.empty() && arg.back() == '/')
-        cfva_fatal("trailing '/' leaves an empty --port-mix group "
-                   "in: ", arg);
-    std::stringstream groups(arg);
-    std::string group;
-    while (std::getline(groups, group, '/')) {
-        sim::PortMix mix;
-        for (const auto &part : splitList(group)) {
-            const std::int64_t m = parseI64(part, "--port-mix");
-            if (m == 0)
-                cfva_fatal("--port-mix multiplier 0 is not a "
-                           "vector access");
-            if (m > sim::PortMix::kMaxMultiplier
-                || m < -sim::PortMix::kMaxMultiplier)
-                cfva_fatal("--port-mix multiplier out of range "
-                           "(|m| <= ", sim::PortMix::kMaxMultiplier,
-                           "): ", m);
-            mix.multipliers.push_back(m);
-        }
-        if (mix.multipliers.empty())
-            cfva_fatal("empty --port-mix group in: ", arg);
-        mixes.push_back(std::move(mix));
-    }
-    if (mixes.empty())
-        cfva_fatal("empty --port-mix list");
-    return mixes;
+    std::vector<std::uint64_t> vals;
+    for (const auto &p : sim::splitFlagList(flag, arg))
+        vals.push_back(parseU64(p, flag));
+    return vals;
 }
 
 /** Parses "LO..HI" (or a single value) into an inclusive range. */
@@ -256,6 +229,19 @@ parseWorkloadKind(const std::string &name)
         return sim::WorkloadKind::Stencil;
     cfva_fatal("unknown workload: ", name,
                " (expected single|chain|retune|stencil)");
+}
+
+TierPolicy
+parseTier(const std::string &name)
+{
+    if (name == "sim")
+        return TierPolicy::SimulateAlways;
+    if (name == "theory")
+        return TierPolicy::TheoryFirst;
+    if (name == "audit")
+        return TierPolicy::AuditBoth;
+    cfva_fatal("unknown tier: ", name,
+               " (expected sim|theory|audit)");
 }
 
 std::vector<EngineKind>
@@ -325,6 +311,7 @@ struct Options
     sim::ShardSpec shard;
     bool stream = false;
     std::vector<EngineKind> engines = {EngineKind::PerCycle};
+    TierPolicy tier = TierPolicy::SimulateAlways;
     std::string csvPath;
     std::string jsonPath;
     bool summary = true;
@@ -347,7 +334,8 @@ parseArgs(int argc, char **argv)
             usage(std::cout);
             std::exit(0);
         } else if (a == "--kinds") {
-            o.kinds = splitList(need(i, "--kinds"));
+            o.kinds = sim::splitFlagList("--kinds",
+                                         need(i, "--kinds"));
         } else if (a == "--t") {
             o.ts = parseU64List(need(i, "--t"), "--t");
         } else if (a == "--lambda") {
@@ -355,7 +343,7 @@ parseArgs(int argc, char **argv)
         } else if (a == "--m") {
             o.ms = parseU64List(need(i, "--m"), "--m");
         } else if (a == "--tunes") {
-            o.tunes = parseU64List(need(i, "--tunes"), "--tunes");
+            o.tunes = strictU64List("--tunes", need(i, "--tunes"));
         } else if (a == "--families") {
             o.families =
                 parseRange(need(i, "--families"), "--families");
@@ -375,11 +363,11 @@ parseArgs(int argc, char **argv)
         } else if (a == "--ports") {
             o.ports = parseU64List(need(i, "--ports"), "--ports");
         } else if (a == "--port-mix") {
-            o.portMixes = parsePortMixes(need(i, "--port-mix"));
+            o.portMixes = sim::parsePortMixFlag(
+                "--port-mix", need(i, "--port-mix"));
         } else if (a == "--workloads") {
-            o.workloadNames = splitList(need(i, "--workloads"));
-            if (o.workloadNames.empty())
-                cfva_fatal("empty --workloads list");
+            o.workloadNames = sim::splitFlagList(
+                "--workloads", need(i, "--workloads"));
         } else if (a == "--exec-latency") {
             o.execLatency = parseU64(need(i, "--exec-latency"),
                                      "--exec-latency");
@@ -394,6 +382,8 @@ parseArgs(int argc, char **argv)
             o.seed = parseU64(need(i, "--seed"), "--seed");
         } else if (a == "--engine") {
             o.engines = parseEngines(need(i, "--engine"));
+        } else if (a == "--tier") {
+            o.tier = parseTier(need(i, "--tier"));
         } else if (a == "--threads") {
             o.threads = parseU32(need(i, "--threads"),
                                  "--threads");
@@ -515,6 +505,34 @@ wantsWorkloadSummary(const sim::ScenarioGrid &grid)
                   != sim::WorkloadKind::Single;
 }
 
+/** Prints the theory-tier claim rate (and audit verdict) of a run;
+ *  silent under the default sim tier. */
+void
+printTierStats(std::ostream &info, TierPolicy tier,
+               const sim::SweepRunStats &stats)
+{
+    if (tier == TierPolicy::SimulateAlways)
+        return;
+    const std::uint64_t total =
+        stats.theoryClaims + stats.theoryFallbacks;
+    info << "theory tier: " << stats.theoryClaims << " claimed / "
+         << stats.theoryFallbacks << " simulated ("
+         << fixed(total ? 100.0
+                              * static_cast<double>(
+                                  stats.theoryClaims)
+                              / static_cast<double>(total)
+                        : 0.0,
+                  1)
+         << "% of accesses answered analytically)\n";
+    if (tier == TierPolicy::AuditBoth) {
+        info << (stats.tierAuditDivergences
+                     ? "TIER AUDIT DIVERGENCE"
+                     : "tier audit: both tiers identical")
+             << " (" << stats.tierAuditDivergences
+             << " divergent scenarios)\n";
+    }
+}
+
 double
 timedRun(const sim::SweepEngine &engine,
          const sim::ScenarioGrid &grid, sim::SweepReport &report,
@@ -530,6 +548,7 @@ timedRun(const sim::SweepEngine &engine,
 struct BenchRun
 {
     EngineKind engine = EngineKind::PerCycle;
+    TierPolicy tier = TierPolicy::SimulateAlways;
     std::uint64_t threads = 0;
     double seconds = 0.0;
     double scenariosPerSec = 0.0;
@@ -563,12 +582,14 @@ writeBenchJson(const std::string &path, const Options &o,
     out << "{\n  \"grid_jobs\": " << grid.jobCount()
         << ",\n  \"shard\": \"" << o.shard.index << "/"
         << o.shard.count << "\",\n  \"grain\": " << o.grain
-        << ",\n  \"reports_identical\": "
+        << ",\n  \"tier\": \"" << to_string(o.tier)
+        << "\",\n  \"reports_identical\": "
         << (identical ? "true" : "false") << ",\n  \"runs\": [";
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const BenchRun &r = runs[i];
         out << (i ? ",\n" : "\n") << "    {\"engine\": \""
-            << to_string(r.engine) << "\", \"threads\": "
+            << to_string(r.engine) << "\", \"tier\": \""
+            << to_string(r.tier) << "\", \"threads\": "
             << r.threads << ", \"seconds\": " << fixed(r.seconds, 6)
             << ", \"scenarios_per_s\": "
             << fixed(r.scenariosPerSec, 0) << ", \"speedup\": "
@@ -578,6 +599,10 @@ writeBenchJson(const std::string &path, const Options &o,
             << r.stats.backendCacheHits
             << ", \"backend_cache_misses\": "
             << r.stats.backendCacheMisses
+            << ", \"theory_claimed\": " << r.stats.theoryClaims
+            << ", \"theory_fallback\": " << r.stats.theoryFallbacks
+            << ", \"tier_audit_divergences\": "
+            << r.stats.tierAuditDivergences
             << ", \"peak_pending_outcomes\": "
             << r.stats.peakPendingOutcomes << "}";
     }
@@ -634,10 +659,22 @@ main(int argc, char **argv)
     for (std::size_t e = 1; e < o.engines.size(); ++e)
         engineNames += std::string(" + ") + to_string(o.engines[e]);
     info << "engine: " << engineNames << "\n";
+    if (o.tier != TierPolicy::SimulateAlways)
+        info << "tier: " << to_string(o.tier) << "\n";
 
     if (!o.benchThreads.empty()) {
-        TextTable t({"engine", "threads", "seconds", "scenarios/s",
-                     "speedup", "cache hits", "cache misses"});
+        TextTable t({"engine", "tier", "threads", "seconds",
+                     "scenarios/s", "speedup", "cache hits",
+                     "cache misses"});
+        // Under --tier theory the bench times the simulation
+        // baseline too, so BENCH_sweep.json records the analytic
+        // tier's sweep-time reduction next to what it replaced.
+        std::vector<TierPolicy> tiers;
+        if (o.tier == TierPolicy::TheoryFirst)
+            tiers = {TierPolicy::SimulateAlways,
+                     TierPolicy::TheoryFirst};
+        else
+            tiers = {o.tier};
         double base = 0.0;
         sim::SweepReport first;
         bool allIdentical = true;
@@ -651,41 +688,61 @@ main(int argc, char **argv)
             warm.grain = o.grain;
             warm.shard = o.shard;
             warm.engine = o.engines.front();
+            warm.tier = o.tier;
             sim::SweepReport scratch;
             timedRun(sim::SweepEngine(warm), grid, scratch);
         }
+        // Tier attribution legitimately differs between tiers;
+        // identity across runs is judged on everything else.
+        const auto stripTier = [](sim::SweepReport r) {
+            for (auto &outcome : r.outcomes) {
+                outcome.theoryClaimed = 0;
+                outcome.theoryFallback = 0;
+            }
+            return r;
+        };
+        sim::SweepReport firstStripped;
         bool haveBase = false;
         for (EngineKind engine : o.engines) {
-            for (std::uint64_t threads : o.benchThreads) {
-                sim::SweepOptions opts;
-                opts.threads = static_cast<unsigned>(threads);
-                opts.grain = o.grain;
-                opts.shard = o.shard;
-                opts.engine = engine;
-                sim::SweepReport report;
-                sim::SweepRunStats stats;
-                const double secs = timedRun(sim::SweepEngine(opts),
-                                             grid, report, &stats);
-                if (!haveBase) {
-                    base = secs;
-                    first = report;
-                    haveBase = true;
-                } else {
-                    allIdentical &= report == first;
+            for (TierPolicy tier : tiers) {
+                for (std::uint64_t threads : o.benchThreads) {
+                    sim::SweepOptions opts;
+                    opts.threads = static_cast<unsigned>(threads);
+                    opts.grain = o.grain;
+                    opts.shard = o.shard;
+                    opts.engine = engine;
+                    opts.tier = tier;
+                    sim::SweepReport report;
+                    sim::SweepRunStats stats;
+                    const double secs = timedRun(
+                        sim::SweepEngine(opts), grid, report,
+                        &stats);
+                    if (!haveBase) {
+                        base = secs;
+                        first = report;
+                        firstStripped = stripTier(report);
+                        haveBase = true;
+                    } else {
+                        allIdentical &=
+                            stripTier(report) == firstStripped;
+                    }
+                    BenchRun row;
+                    row.engine = engine;
+                    row.tier = tier;
+                    row.threads = threads;
+                    row.seconds = secs;
+                    row.scenariosPerSec =
+                        static_cast<double>(report.jobs()) / secs;
+                    row.speedup = base / secs;
+                    row.stats = stats;
+                    runs.push_back(row);
+                    t.row(to_string(engine), to_string(tier),
+                          threads, fixed(secs, 3),
+                          fixed(row.scenariosPerSec, 0),
+                          fixed(row.speedup, 2),
+                          stats.backendCacheHits,
+                          stats.backendCacheMisses);
                 }
-                BenchRun row;
-                row.engine = engine;
-                row.threads = threads;
-                row.seconds = secs;
-                row.scenariosPerSec =
-                    static_cast<double>(report.jobs()) / secs;
-                row.speedup = base / secs;
-                row.stats = stats;
-                runs.push_back(row);
-                t.row(to_string(engine), threads, fixed(secs, 3),
-                      fixed(row.scenariosPerSec, 0),
-                      fixed(row.speedup, 2), stats.backendCacheHits,
-                      stats.backendCacheMisses);
             }
         }
         t.print(info, "SweepEngine scaling [engine: " + engineNames
@@ -719,6 +776,7 @@ main(int argc, char **argv)
                     opts.grain = o.grain;
                     opts.shard = o.shard;
                     opts.engine = o.engines.front();
+                    opts.tier = o.tier;
                     sim::SweepReport r;
                     row.seconds =
                         timedRun(sim::SweepEngine(opts), sub, r);
@@ -739,10 +797,10 @@ main(int argc, char **argv)
                                + "]");
         }
         info << (allIdentical
-                     ? "reports identical across thread counts "
-                       "and engines\n"
-                     : "REPORT MISMATCH across thread counts or "
-                       "engines\n");
+                     ? "reports identical across thread counts, "
+                       "engines, and tiers\n"
+                     : "REPORT MISMATCH across thread counts, "
+                       "engines, or tiers\n");
         if (!runs.empty()) {
             // The backend cache turns all but the first touch of
             // each (engine, mapping) per worker into reuse; the
@@ -761,7 +819,21 @@ main(int argc, char **argv)
                               : 0.0,
                           1)
                  << "% of backend lookups reused)\n";
+            // The first row with the requested tier carries the
+            // attribution (under --tier theory the leading rows
+            // are the simulation baseline and count nothing).
+            const BenchRun *tierRow = &runs.front();
+            for (const auto &r : runs) {
+                if (r.tier == o.tier) {
+                    tierRow = &r;
+                    break;
+                }
+            }
+            printTierStats(info, o.tier, tierRow->stats);
         }
+        std::uint64_t auditDivergences = 0;
+        for (const auto &r : runs)
+            auditDivergences += r.stats.tierAuditDivergences;
         writeBenchJson(o.benchJsonPath, o, grid, runs, workloadRuns,
                        allIdentical);
         if (!o.csvPath.empty()) {
@@ -772,7 +844,7 @@ main(int argc, char **argv)
             std::ofstream file;
             first.writeJson(*openSink(o.jsonPath, file));
         }
-        return allIdentical ? 0 : 1;
+        return (allIdentical && auditDivergences == 0) ? 0 : 1;
     }
 
     if (o.stream) {
@@ -785,6 +857,7 @@ main(int argc, char **argv)
         opts.grain = o.grain;
         opts.shard = o.shard;
         opts.engine = o.engines.front();
+        opts.tier = o.tier;
 
         std::ofstream csvFile, jsonFile;
         std::optional<sim::CsvStreamSink> csvSink;
@@ -828,8 +901,9 @@ main(int argc, char **argv)
             info << "backend cache: " << stats.backendCacheHits
                  << " hits / " << stats.backendCacheMisses
                  << " misses\n";
+            printTierStats(info, o.tier, stats);
         }
-        return 0;
+        return stats.tierAuditDivergences == 0 ? 0 : 1;
     }
 
     // One timed run per requested engine; with --engine both the
@@ -838,6 +912,7 @@ main(int argc, char **argv)
     sim::SweepRunStats firstStats;
     bool crossChecked = false;
     bool crossIdentical = true;
+    std::uint64_t auditDivergences = 0;
     double firstSecs = 0.0;
     for (std::size_t e = 0; e < o.engines.size(); ++e) {
         sim::SweepOptions opts;
@@ -845,10 +920,12 @@ main(int argc, char **argv)
         opts.grain = o.grain;
         opts.shard = o.shard;
         opts.engine = o.engines[e];
+        opts.tier = o.tier;
         sim::SweepReport r;
         sim::SweepRunStats stats;
         const double secs =
             timedRun(sim::SweepEngine(opts), grid, r, &stats);
+        auditDivergences += stats.tierAuditDivergences;
         if (o.summary) {
             info << to_string(o.engines[e]) << ": " << r.jobs()
                  << " scenarios in " << fixed(secs, 3) << " s ("
@@ -880,6 +957,7 @@ main(int argc, char **argv)
         info << "backend cache: " << firstStats.backendCacheHits
              << " hits / " << firstStats.backendCacheMisses
              << " misses\n";
+        printTierStats(info, o.tier, firstStats);
     }
     if (crossChecked) {
         info << (crossIdentical
@@ -894,5 +972,5 @@ main(int argc, char **argv)
         std::ofstream file;
         report.writeJson(*openSink(o.jsonPath, file));
     }
-    return crossIdentical ? 0 : 1;
+    return (crossIdentical && auditDivergences == 0) ? 0 : 1;
 }
