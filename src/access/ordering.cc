@@ -5,9 +5,11 @@
 namespace cfva {
 
 std::vector<Request>
-canonicalOrder(Addr a1, const Stride &s, std::uint64_t length)
+canonicalOrder(Addr a1, const Stride &s, std::uint64_t length,
+               std::vector<Request> seed)
 {
-    std::vector<Request> stream;
+    std::vector<Request> stream = std::move(seed);
+    stream.clear();
     stream.reserve(length);
     Addr a = a1;
     for (std::uint64_t i = 0; i < length; ++i, a += s.value())
@@ -80,7 +82,8 @@ subsequenceOrder(Addr a1, const SubsequencePlan &plan)
 
 std::vector<Request>
 conflictFreeOrderByKey(Addr a1, const SubsequencePlan &plan,
-                       const std::function<ModuleId(Addr)> &key)
+                       const std::function<ModuleId(Addr)> &key,
+                       std::vector<Request> seed)
 {
     const std::vector<Request> base = subsequenceOrder(a1, plan);
     const std::uint64_t t_elems = plan.elemsPerSubseq;
@@ -99,7 +102,8 @@ conflictFreeOrderByKey(Addr a1, const SubsequencePlan &plan,
     }
 
     // Replay every subsequence in that key order (Sec. 3.2 / 4.2).
-    std::vector<Request> stream(plan.length);
+    std::vector<Request> stream = std::move(seed);
+    stream.assign(plan.length, Request{});
     for (std::uint64_t sub = 0; sub < n_subseq; ++sub) {
         const std::uint64_t first = sub * t_elems;
         std::vector<bool> filled(t_elems, false);

@@ -31,9 +31,15 @@
 
 namespace cfva {
 
-/** In-order (canonical) request stream: elements 0, 1, ..., L-1. */
+/**
+ * In-order (canonical) request stream: elements 0, 1, ..., L-1.
+ * @p seed donates its capacity to the returned stream (pass a
+ * recycled buffer — e.g. DeliveryArena::acquireRequests — to keep
+ * the sweep hot path allocation free); its contents are discarded.
+ */
 std::vector<Request> canonicalOrder(Addr a1, const Stride &s,
-                                    std::uint64_t length);
+                                    std::uint64_t length,
+                                    std::vector<Request> seed = {});
 
 /**
  * Shape of the Fig. 4 out-of-order loop nest for one vector access.
@@ -127,11 +133,13 @@ std::vector<Request> conflictFreeOrder(Addr a1,
  * of the Fig. 4 stream by the @p key of the first subsequence.
  * @p key maps an address to a value in [0, 2^t); every subsequence
  * must contain each key exactly once (Lemmas 2 and 4 guarantee
- * this for the supported mappings).
+ * this for the supported mappings).  @p seed donates capacity as in
+ * canonicalOrder.
  */
 std::vector<Request>
 conflictFreeOrderByKey(Addr a1, const SubsequencePlan &plan,
-                       const std::function<ModuleId(Addr)> &key);
+                       const std::function<ModuleId(Addr)> &key,
+                       std::vector<Request> seed = {});
 
 } // namespace cfva
 

@@ -31,9 +31,11 @@ planShortVector(unsigned t, unsigned w, const Stride &s,
 
 std::vector<Request>
 shortVectorOrder(Addr a1, const Stride &s, const ShortVectorPlan &plan,
-                 const std::function<ModuleId(Addr)> &key)
+                 const std::function<ModuleId(Addr)> &key,
+                 std::vector<Request> seed)
 {
-    std::vector<Request> stream;
+    std::vector<Request> stream = std::move(seed);
+    stream.clear();
     stream.reserve(plan.total);
 
     if (plan.hasReorderedPart()) {

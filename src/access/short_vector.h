@@ -48,11 +48,13 @@ ShortVectorPlan planShortVector(unsigned t, unsigned w,
 /**
  * Emits the full request stream of a planned short vector: the
  * conflict-free head (keyed reordering, see conflictFreeOrderByKey)
- * followed by the in-order tail.
+ * followed by the in-order tail.  @p seed donates capacity as in
+ * canonicalOrder.
  */
 std::vector<Request>
 shortVectorOrder(Addr a1, const Stride &s, const ShortVectorPlan &plan,
-                 const std::function<ModuleId(Addr)> &key);
+                 const std::function<ModuleId(Addr)> &key,
+                 std::vector<Request> seed = {});
 
 /** Convenience overload for the matched (Eq. 1) mapping. */
 std::vector<Request>

@@ -198,7 +198,8 @@ VectorAccessUnit::reorderKey(unsigned x) const
 
 AccessPlan
 VectorAccessUnit::planExact(Addr a1, const Stride &s,
-                            std::uint64_t length) const
+                            std::uint64_t length,
+                            std::vector<Request> seed) const
 {
     AccessPlan plan;
     plan.a1 = a1;
@@ -211,7 +212,7 @@ VectorAccessUnit::planExact(Addr a1, const Stride &s,
     if (inOrderConflictFree(x)) {
         plan.policy = AccessPolicy::InOrder;
         plan.expectConflictFree = true;
-        plan.stream = canonicalOrder(a1, s, length);
+        plan.stream = canonicalOrder(a1, s, length, std::move(seed));
         why << "family x=" << x << " is conflict free in order on "
             << mapping_->name();
         plan.rationale = why.str();
@@ -223,7 +224,8 @@ VectorAccessUnit::planExact(Addr a1, const Stride &s,
         const auto sub = makeSubsequencePlan(cfg_.t, *w, s, length);
         plan.policy = AccessPolicy::ConflictFree;
         plan.expectConflictFree = true;
-        plan.stream = conflictFreeOrderByKey(a1, sub, reorderKey(x));
+        plan.stream = conflictFreeOrderByKey(a1, sub, reorderKey(x),
+                                             std::move(seed));
         why << "family x=" << x << " in window via w=" << *w
             << ": Sec. " << (cfg_.kind == MemoryKind::Sectioned
                              ? "4.2" : "3.2")
@@ -234,7 +236,7 @@ VectorAccessUnit::planExact(Addr a1, const Stride &s,
 
     plan.policy = AccessPolicy::InOrder;
     plan.expectConflictFree = false;
-    plan.stream = canonicalOrder(a1, s, length);
+    plan.stream = canonicalOrder(a1, s, length, std::move(seed));
     why << "family x=" << x << " outside every window (vector not "
         << "T-matched); canonical order";
     plan.rationale = why.str();
@@ -243,14 +245,15 @@ VectorAccessUnit::planExact(Addr a1, const Stride &s,
 
 AccessPlan
 VectorAccessUnit::plan(Addr a1, const Stride &s,
-                       std::uint64_t length) const
+                       std::uint64_t length,
+                       std::vector<Request> seed) const
 {
     cfva_assert(length > 0, "empty access");
     const std::uint64_t reg_len = cfg_.registerLength();
     const unsigned x = s.family();
 
     if (length == reg_len)
-        return planExact(a1, s, length);
+        return planExact(a1, s, length, std::move(seed));
 
     if (length > reg_len && length % reg_len == 0) {
         // Sec. 5C case ii: multiple-size registers; apply the
@@ -262,6 +265,9 @@ VectorAccessUnit::plan(Addr a1, const Stride &s,
         plan.a1 = a1;
         plan.stride = s;
         plan.length = length;
+        plan.stream = std::move(seed);
+        plan.stream.clear();
+        plan.stream.reserve(length);
         const std::uint64_t chunks = length / reg_len;
         for (std::uint64_t c = 0; c < chunks; ++c) {
             const Addr chunk_a1 = a1 + s.value() * (c * reg_len);
@@ -295,7 +301,7 @@ VectorAccessUnit::plan(Addr a1, const Stride &s,
         plan.stride = s;
         plan.length = length;
         plan.expectConflictFree = true;
-        plan.stream = canonicalOrder(a1, s, length);
+        plan.stream = canonicalOrder(a1, s, length, std::move(seed));
         plan.rationale = "in-order family; any length is conflict "
                          "free";
         return plan;
@@ -313,14 +319,15 @@ VectorAccessUnit::plan(Addr a1, const Stride &s,
     if (!w) {
         plan.policy = AccessPolicy::InOrder;
         plan.expectConflictFree = false;
-        plan.stream = canonicalOrder(a1, s, length);
+        plan.stream = canonicalOrder(a1, s, length, std::move(seed));
         plan.rationale = "family outside every window; canonical "
                          "order";
         return plan;
     }
 
     const auto split = planShortVector(cfg_.t, *w, s, length);
-    plan.stream = shortVectorOrder(a1, s, split, reorderKey(x));
+    plan.stream = shortVectorOrder(a1, s, split, reorderKey(x),
+                                   std::move(seed));
     plan.expectConflictFree =
         split.hasReorderedPart() && split.ordered == 0;
     std::ostringstream why;
@@ -333,12 +340,13 @@ VectorAccessUnit::plan(Addr a1, const Stride &s,
 
 AccessPlan
 VectorAccessUnit::plan(Addr a1, std::int64_t stride,
-                       std::uint64_t length) const
+                       std::uint64_t length,
+                       std::vector<Request> seed) const
 {
     cfva_assert(stride != 0, "stride must be nonzero");
     if (stride > 0)
         return plan(a1, Stride(static_cast<std::uint64_t>(stride)),
-                    length);
+                    length, std::move(seed));
 
     const std::uint64_t mag =
         static_cast<std::uint64_t>(-stride);
@@ -350,7 +358,8 @@ VectorAccessUnit::plan(Addr a1, std::int64_t stride,
     // element numbering: element i of the descending vector is
     // element length-1-i of the ascending one.
     const Addr low_a1 = a1 - (length - 1) * mag;
-    AccessPlan p = plan(low_a1, Stride(mag), length);
+    AccessPlan p = plan(low_a1, Stride(mag), length,
+                        std::move(seed));
     for (auto &req : p.stream)
         req.element = length - 1 - req.element;
     p.a1 = a1;
@@ -361,7 +370,8 @@ VectorAccessUnit::plan(Addr a1, std::int64_t stride,
 AccessResult
 VectorAccessUnit::execute(const AccessPlan &plan,
                           DeliveryArena *arena, BackendCache *cache,
-                          TierPolicy tier, TierCounters *tiers) const
+                          TierPolicy tier, TierCounters *tiers,
+                          MapPath path) const
 {
     cfva_assert(tier != TierPolicy::AuditBoth,
                 "AuditBoth is resolved by the caller running both "
@@ -369,7 +379,7 @@ VectorAccessUnit::execute(const AccessPlan &plan,
     if (tier == TierPolicy::TheoryFirst) {
         if (cache) {
             auto &tb = cache->theoryBackendFor(
-                cfg_.engine, cfg_.memConfig(), *mapping_);
+                cfg_.engine, cfg_.memConfig(), *mapping_, path);
             AccessResult r = tb.runSingleHinted(
                 plan.expectConflictFree, plan.stream, arena);
             if (tiers)
@@ -379,7 +389,8 @@ VectorAccessUnit::execute(const AccessPlan &plan,
         TheoryBackend tb(
             cfg_.memConfig(), *mapping_,
             makeMemoryBackend(cfg_.engine, cfg_.memConfig(),
-                              *mapping_));
+                              *mapping_, path),
+            path);
         AccessResult r = tb.runSingleHinted(plan.expectConflictFree,
                                             plan.stream, arena);
         if (tiers)
@@ -390,10 +401,12 @@ VectorAccessUnit::execute(const AccessPlan &plan,
         tiers->add(false);
     if (cache) {
         return cache
-            ->backendFor(cfg_.engine, cfg_.memConfig(), *mapping_)
+            ->backendFor(cfg_.engine, cfg_.memConfig(), *mapping_,
+                         path)
             .runSingle(plan.stream, arena);
     }
-    return makeMemoryBackend(cfg_.engine, cfg_.memConfig(), *mapping_)
+    return makeMemoryBackend(cfg_.engine, cfg_.memConfig(), *mapping_,
+                             path)
         ->runSingle(plan.stream, arena);
 }
 
@@ -401,7 +414,7 @@ MultiPortResult
 VectorAccessUnit::executePorts(
     const std::vector<std::vector<Request>> &streams,
     DeliveryArena *arena, BackendCache *cache, TierPolicy tier,
-    TierCounters *tiers) const
+    TierCounters *tiers, MapPath path) const
 {
     cfva_assert(tier != TierPolicy::AuditBoth,
                 "AuditBoth is resolved by the caller running both "
@@ -409,7 +422,7 @@ VectorAccessUnit::executePorts(
     if (tier == TierPolicy::TheoryFirst) {
         if (cache) {
             auto &tb = cache->theoryBackendFor(
-                cfg_.engine, cfg_.memConfig(), *mapping_);
+                cfg_.engine, cfg_.memConfig(), *mapping_, path);
             MultiPortResult r = tb.run(streams, arena);
             if (tiers)
                 tiers->add(tb.lastClaimed());
@@ -418,7 +431,8 @@ VectorAccessUnit::executePorts(
         TheoryBackend tb(
             cfg_.memConfig(), *mapping_,
             makeMemoryBackend(cfg_.engine, cfg_.memConfig(),
-                              *mapping_));
+                              *mapping_, path),
+            path);
         MultiPortResult r = tb.run(streams, arena);
         if (tiers)
             tiers->add(tb.lastClaimed());
@@ -428,10 +442,12 @@ VectorAccessUnit::executePorts(
         tiers->add(false);
     if (cache) {
         return cache
-            ->backendFor(cfg_.engine, cfg_.memConfig(), *mapping_)
+            ->backendFor(cfg_.engine, cfg_.memConfig(), *mapping_,
+                         path)
             .run(streams, arena);
     }
-    return makeMemoryBackend(cfg_.engine, cfg_.memConfig(), *mapping_)
+    return makeMemoryBackend(cfg_.engine, cfg_.memConfig(), *mapping_,
+                             path)
         ->run(streams, arena);
 }
 

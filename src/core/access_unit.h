@@ -78,10 +78,13 @@ class VectorAccessUnit
 
     /**
      * Chooses an ordering for a vector access of @p length elements
-     * with stride @p s starting at @p a1 (any address).
+     * with stride @p s starting at @p a1 (any address).  @p seed
+     * donates its capacity to the plan's stream vector — pass a
+     * recycled buffer (DeliveryArena::acquireRequests) to keep
+     * batch planning allocation free; contents are discarded.
      */
-    AccessPlan plan(Addr a1, const Stride &s,
-                    std::uint64_t length) const;
+    AccessPlan plan(Addr a1, const Stride &s, std::uint64_t length,
+                    std::vector<Request> seed = {}) const;
 
     /**
      * Signed-stride overload.  The paper's analysis is symmetric in
@@ -93,7 +96,8 @@ class VectorAccessUnit
      * underflows.
      */
     AccessPlan plan(Addr a1, std::int64_t stride,
-                    std::uint64_t length) const;
+                    std::uint64_t length,
+                    std::vector<Request> seed = {}) const;
 
     /**
      * Runs a plan through the memory backend selected by
@@ -113,28 +117,33 @@ class VectorAccessUnit
      * and compares); passing it here is an error.  When @p tiers is
      * given, the access is attributed to it as claimed or fallback
      * (under SimulateAlways: always fallback).
+     *
+     * @p path selects the backend's stream-premap variant (see
+     * makeMemoryBackend); results are bit-identical either way.
      */
     AccessResult execute(const AccessPlan &plan,
                          DeliveryArena *arena = nullptr,
                          BackendCache *cache = nullptr,
                          TierPolicy tier = TierPolicy::SimulateAlways,
-                         TierCounters *tiers = nullptr) const;
+                         TierCounters *tiers = nullptr,
+                         MapPath path = MapPath::BitSliced) const;
 
     /**
      * Runs P = streams.size() simultaneous request streams through
      * the port-aware backend selected by config().engine.  The
      * engine knob is honored for every port count; the per-cycle
      * and event-driven backends produce bit-identical results.
-     * @p cache, @p tier, @p tiers as in execute(); the theory tier
-     * only claims P = 1 (multi-port schedules always simulate, and
-     * are attributed as fallbacks).
+     * @p cache, @p tier, @p tiers, @p path as in execute(); the
+     * theory tier only claims P = 1 (multi-port schedules always
+     * simulate, and are attributed as fallbacks).
      */
     MultiPortResult
     executePorts(const std::vector<std::vector<Request>> &streams,
                  DeliveryArena *arena = nullptr,
                  BackendCache *cache = nullptr,
                  TierPolicy tier = TierPolicy::SimulateAlways,
-                 TierCounters *tiers = nullptr) const;
+                 TierCounters *tiers = nullptr,
+                 MapPath path = MapPath::BitSliced) const;
 
     /** plan() + execute() in one call. */
     AccessResult access(Addr a1, const Stride &s,
@@ -147,7 +156,8 @@ class VectorAccessUnit
   private:
     /** Plans one full-register (or period-multiple) access. */
     AccessPlan planExact(Addr a1, const Stride &s,
-                         std::uint64_t length) const;
+                         std::uint64_t length,
+                         std::vector<Request> seed = {}) const;
 
     /** The reorder key for conflict-free issue at family @p x. */
     std::function<ModuleId(Addr)> reorderKey(unsigned x) const;

@@ -1,0 +1,22 @@
+#include "mapping/mapping.h"
+
+#include <utility>
+
+#include "mapping/bitslice.h"
+
+namespace cfva {
+
+void
+ModuleMapping::mapModules(const Addr *addrs, std::size_t n,
+                          ModuleId *out) const
+{
+    std::vector<std::uint64_t> rows;
+    if (n >= kLaneWidth && gf2Rows(rows)) {
+        BitSlicedMapper(std::move(rows)).map(addrs, n, out);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = moduleOf(addrs[i]);
+}
+
+} // namespace cfva

@@ -1,5 +1,6 @@
 #include "memsys/backend.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -37,11 +38,14 @@ to_string(TierPolicy tier)
 std::vector<Delivery>
 DeliveryArena::acquire(std::size_t capacity)
 {
+    ++acquires_;
     std::vector<Delivery> buf;
     if (!pool_.empty()) {
         buf = std::move(pool_.back());
         pool_.pop_back();
+        retainedBytes_ -= buf.capacity() * sizeof(Delivery);
         buf.clear();
+        ++reuses_;
     }
     buf.reserve(capacity);
     return buf;
@@ -59,7 +63,44 @@ DeliveryArena::release(std::vector<Delivery> &&buf)
         // is returned as `buf` goes out of scope.
         return;
     }
+    noteRetained(buf.capacity() * sizeof(Delivery));
     pool_.push_back(std::move(buf));
+}
+
+std::vector<Request>
+DeliveryArena::acquireRequests(std::size_t capacity)
+{
+    ++acquires_;
+    std::vector<Request> buf;
+    if (!reqPool_.empty()) {
+        buf = std::move(reqPool_.back());
+        reqPool_.pop_back();
+        retainedBytes_ -= buf.capacity() * sizeof(Request);
+        buf.clear();
+        ++reuses_;
+    }
+    buf.reserve(capacity);
+    return buf;
+}
+
+void
+DeliveryArena::releaseRequests(std::vector<Request> &&buf)
+{
+    if (buf.capacity() == 0)
+        return;
+    if (buf.capacity() > kMaxPooledCapacity
+        || reqPool_.size() >= kMaxPooled) {
+        return;
+    }
+    noteRetained(buf.capacity() * sizeof(Request));
+    reqPool_.push_back(std::move(buf));
+}
+
+void
+DeliveryArena::noteRetained(std::size_t bytes)
+{
+    retainedBytes_ += bytes;
+    peakBytes_ = std::max(peakBytes_, retainedBytes_);
 }
 
 std::size_t
@@ -68,18 +109,29 @@ DeliveryArena::pooledBytes() const
     std::size_t bytes = 0;
     for (const auto &b : pool_)
         bytes += b.capacity() * sizeof(Delivery);
+    for (const auto &b : reqPool_)
+        bytes += b.capacity() * sizeof(Request);
     return bytes;
+}
+
+AccessResult
+MemoryBackend::runSingleMapped(const std::vector<Request> &stream,
+                               const ModuleId *modules,
+                               DeliveryArena *arena)
+{
+    (void)modules;
+    return runSingle(stream, arena);
 }
 
 std::unique_ptr<MemoryBackend>
 makeMemoryBackend(EngineKind engine, const MemConfig &cfg,
-                  const ModuleMapping &map)
+                  const ModuleMapping &map, MapPath path)
 {
     switch (engine) {
       case EngineKind::PerCycle:
-        return std::make_unique<PerCycleMultiPort>(cfg, map);
+        return std::make_unique<PerCycleMultiPort>(cfg, map, path);
       case EngineKind::EventDriven:
-        return std::make_unique<EventDrivenMultiPort>(cfg, map);
+        return std::make_unique<EventDrivenMultiPort>(cfg, map, path);
     }
     cfva_panic("unreachable engine kind");
 }
@@ -89,7 +141,7 @@ namespace detail {
 MultiPortResult
 assemblePortResults(const MemConfig &cfg,
                     const std::vector<std::vector<Request>> &streams,
-                    std::vector<PortState> &&ports, Cycle lastDelivery)
+                    std::vector<PortState> &ports, Cycle lastDelivery)
 {
     MultiPortResult result;
     bool any = false;

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "mapping/bitslice.h"
 #include "mapping/mapping.h"
 #include "memsys/memory_system.h"
 #include "memsys/request.h"
@@ -96,26 +97,36 @@ struct TierCounters
 };
 
 /**
- * Freelist of Delivery buffers, recycled across accesses so tight
- * sweeps stop paying one heap allocation (plus growth doublings)
- * per simulated access.  Engines acquire() their result buffers
- * from it when one is supplied; the caller release()s the buffers
- * once the records have been consumed.  Not thread-safe: use one
- * arena per worker thread (the sweep engine keeps one per worker).
+ * Per-worker bump arena for the sweep hot path: freelists of
+ * Delivery result buffers and Request stream buffers, recycled
+ * across accesses so tight sweeps stop paying heap allocations
+ * (plus growth doublings) per simulated access.  Engines acquire()
+ * their result buffers from it when one is supplied; the caller
+ * release()s the buffers once the records have been consumed.
+ * Stream builders use acquireRequests()/releaseRequests() the same
+ * way.  Not thread-safe: use one arena per worker thread (the sweep
+ * engine keeps one per worker).
  *
- * The pool is bounded: at most kMaxPooled buffers are retained, and
- * a released buffer whose capacity exceeds kMaxPooledCapacity is
- * freed instead of pooled — one pathological large-L access must
- * not pin a peak-sized buffer for the rest of a long sweep.
+ * Both pools are bounded: at most kMaxPooled buffers are retained
+ * per kind, and a released buffer whose capacity exceeds
+ * kMaxPooledCapacity is freed instead of pooled — one pathological
+ * large-L access must not pin a peak-sized buffer for the rest of a
+ * long sweep.
+ *
+ * The arena also keeps high-water accounting: acquires()/reuses()
+ * count how many buffer requests were served and how many of those
+ * came from the pools instead of the allocator, and peakBytes() is
+ * the high-water mark of retained pool capacity.  The sweep engine
+ * folds these into SweepRunStats.
  */
 class DeliveryArena
 {
   public:
-    /** Most buffers the freelist retains; further releases free. */
+    /** Most buffers each freelist retains; further releases free. */
     static constexpr std::size_t kMaxPooled = 64;
 
-    /** Largest per-buffer capacity (in Delivery records) worth
-     *  retaining; oversize buffers are freed on release. */
+    /** Largest per-buffer capacity (in records) worth retaining;
+     *  oversize buffers are freed on release. */
     static constexpr std::size_t kMaxPooledCapacity =
         std::size_t{1} << 14;
 
@@ -126,14 +137,39 @@ class DeliveryArena
      *  when the pool is full or the buffer is oversize). */
     void release(std::vector<Delivery> &&buf);
 
-    /** Buffers currently pooled (for tests). */
+    /** An empty Request buffer with @p capacity reserved. */
+    std::vector<Request> acquireRequests(std::size_t capacity);
+
+    /** Returns a Request buffer's capacity to its freelist. */
+    void releaseRequests(std::vector<Request> &&buf);
+
+    /** Delivery buffers currently pooled (for tests). */
     std::size_t pooled() const { return pool_.size(); }
 
-    /** Total bytes of capacity the pool retains (for tests). */
+    /** Request buffers currently pooled (for tests). */
+    std::size_t pooledRequests() const { return reqPool_.size(); }
+
+    /** Total bytes of capacity both pools retain (for tests). */
     std::size_t pooledBytes() const;
 
+    /** Buffer requests served (both kinds). */
+    std::uint64_t acquires() const { return acquires_; }
+
+    /** Buffer requests served from a pool (no allocator call). */
+    std::uint64_t reuses() const { return reuses_; }
+
+    /** High-water mark of retained pool capacity, in bytes. */
+    std::size_t peakBytes() const { return peakBytes_; }
+
   private:
+    void noteRetained(std::size_t bytes);
+
     std::vector<std::vector<Delivery>> pool_;
+    std::vector<std::vector<Request>> reqPool_;
+    std::uint64_t acquires_ = 0;
+    std::uint64_t reuses_ = 0;
+    std::size_t retainedBytes_ = 0;
+    std::size_t peakBytes_ = 0;
 };
 
 /** Outcome of a simultaneous multi-vector access. */
@@ -198,17 +234,37 @@ class MemoryBackend
     runSingle(const std::vector<Request> &stream,
               DeliveryArena *arena = nullptr) = 0;
 
+    /**
+     * runSingle() over a stream whose module assignments were
+     * already computed (modules[i] = mapping of stream[i].addr,
+     * typically by a BitSlicedMapper).  Lets a caller that premapped
+     * the stream for its own analysis — the theory tier's
+     * conflict-freedom proof — hand the work to the simulation
+     * fallback instead of mapping every element twice.  The default
+     * ignores @p modules and calls runSingle(); the engines override
+     * it to skip their internal premap pass.
+     */
+    virtual AccessResult
+    runSingleMapped(const std::vector<Request> &stream,
+                    const ModuleId *modules,
+                    DeliveryArena *arena = nullptr);
+
     /** Engine name for logs and diagnostics. */
     virtual const char *name() const = 0;
 };
 
 /**
  * Builds the backend implementing @p engine over @p cfg and @p map.
- * The mapping must outlive the returned backend.
+ * The mapping must outlive the returned backend.  @p path selects
+ * how the engines premap their streams: BitSliced (the default)
+ * uses transposed GF(2) bit-matrix multiplies when the mapping
+ * exposes fixed rows, Scalar forces per-element moduleOf() — the
+ * differential tests and benches use the knob to compare the two.
  */
 std::unique_ptr<MemoryBackend>
 makeMemoryBackend(EngineKind engine, const MemConfig &cfg,
-                  const ModuleMapping &map);
+                  const ModuleMapping &map,
+                  MapPath path = MapPath::BitSliced);
 
 namespace detail {
 
@@ -225,12 +281,14 @@ struct PortState
 /**
  * Folds per-port issue state into the MultiPortResult both backends
  * must agree on bit for bit: latency, conflict-free criterion, and
- * makespan are computed in exactly one place.
+ * makespan are computed in exactly one place.  The delivered
+ * buffers are moved out of @p ports, but the vector itself is left
+ * intact so engines can keep it as reusable member scratch.
  */
 MultiPortResult
 assemblePortResults(const MemConfig &cfg,
                     const std::vector<std::vector<Request>> &streams,
-                    std::vector<PortState> &&ports, Cycle lastDelivery);
+                    std::vector<PortState> &ports, Cycle lastDelivery);
 
 /**
  * Wedge guard for P serialized streams of @p total requests; the

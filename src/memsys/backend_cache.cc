@@ -8,10 +8,10 @@ namespace cfva {
 
 MemoryBackend &
 BackendCache::backendFor(EngineKind engine, const MemConfig &cfg,
-                         const ModuleMapping &map)
+                         const ModuleMapping &map, MapPath path)
 {
-    const Key key{engine, cfg.m, cfg.t, cfg.inputBuffers,
-                  cfg.outputBuffers, &map};
+    const Key key{engine,           cfg.m, cfg.t, cfg.inputBuffers,
+                  cfg.outputBuffers, &map, false, path};
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         if (entries_[i].key == key) {
             ++stats_.hits;
@@ -21,17 +21,18 @@ BackendCache::backendFor(EngineKind engine, const MemConfig &cfg,
         }
     }
     ++stats_.misses;
-    entries_.insert(entries_.begin(),
-                    Entry{key, makeMemoryBackend(engine, cfg, map)});
+    entries_.insert(
+        entries_.begin(),
+        Entry{key, makeMemoryBackend(engine, cfg, map, path)});
     return *entries_.front().backend;
 }
 
 TheoryBackend &
 BackendCache::theoryBackendFor(EngineKind engine, const MemConfig &cfg,
-                               const ModuleMapping &map)
+                               const ModuleMapping &map, MapPath path)
 {
-    const Key key{engine, cfg.m, cfg.t, cfg.inputBuffers,
-                  cfg.outputBuffers, &map, /*theory=*/true};
+    const Key key{engine,           cfg.m, cfg.t, cfg.inputBuffers,
+                  cfg.outputBuffers, &map, /*theory=*/true, path};
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         if (entries_[i].key == key) {
             ++stats_.hits;
@@ -43,8 +44,10 @@ BackendCache::theoryBackendFor(EngineKind engine, const MemConfig &cfg,
     ++stats_.misses;
     entries_.insert(
         entries_.begin(),
-        Entry{key, std::make_unique<TheoryBackend>(
-                       cfg, map, makeMemoryBackend(engine, cfg, map))});
+        Entry{key,
+              std::make_unique<TheoryBackend>(
+                  cfg, map, makeMemoryBackend(engine, cfg, map, path),
+                  path)});
     return static_cast<TheoryBackend &>(*entries_.front().backend);
 }
 

@@ -58,10 +58,13 @@ class BackendCache
     /**
      * The backend implementing @p engine over @p cfg and @p map,
      * built on first use and reused afterwards.  @p map must
-     * outlive the cache.
+     * outlive the cache.  @p path is part of the key: a bit-sliced
+     * and a scalar-premap variant of the same shape never alias one
+     * entry (the differential harness holds both live at once).
      */
     MemoryBackend &backendFor(EngineKind engine, const MemConfig &cfg,
-                              const ModuleMapping &map);
+                              const ModuleMapping &map,
+                              MapPath path = MapPath::BitSliced);
 
     /**
      * The analytic tier over the same shape: a TheoryBackend whose
@@ -71,7 +74,8 @@ class BackendCache
      */
     TheoryBackend &theoryBackendFor(EngineKind engine,
                                     const MemConfig &cfg,
-                                    const ModuleMapping &map);
+                                    const ModuleMapping &map,
+                                    MapPath path = MapPath::BitSliced);
 
     const BackendCacheStats &stats() const { return stats_; }
 
@@ -91,6 +95,7 @@ class BackendCache
         unsigned outputBuffers = 0;
         const ModuleMapping *map = nullptr;
         bool theory = false; //!< analytic tier wrapping the engine
+        MapPath path = MapPath::BitSliced; //!< premap variant
 
         bool operator==(const Key &o) const = default;
     };

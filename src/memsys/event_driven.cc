@@ -9,9 +9,10 @@
 namespace cfva {
 
 EventDrivenMemorySystem::EventDrivenMemorySystem(
-    const MemConfig &cfg, const ModuleMapping &map)
-    : cfg_(cfg), map_(map), retire_(cfg.modules()),
-      outputs_(cfg.modules()), retireBlocked_(cfg.modules(), 0)
+    const MemConfig &cfg, const ModuleMapping &map, MapPath path)
+    : cfg_(cfg), map_(map), slicer_(map, path),
+      retire_(cfg.modules()), outputs_(cfg.modules()),
+      retireBlocked_(cfg.modules(), 0)
 {
     cfva_assert(map.moduleBits() == cfg.m,
                 "mapping has 2^", map.moduleBits(),
@@ -25,7 +26,8 @@ EventDrivenMemorySystem::EventDrivenMemorySystem(
 
 AccessResult
 EventDrivenMemorySystem::run(const std::vector<Request> &stream,
-                             DeliveryArena *arena)
+                             DeliveryArena *arena,
+                             const ModuleId *premapped)
 {
     // Self-resetting: one instance serves many accesses (the
     // backend cache reuses engines across a whole sweep).  After a
@@ -49,21 +51,25 @@ EventDrivenMemorySystem::run(const std::vector<Request> &stream,
         return result;
     }
 
+    // Premap the whole stream before the event loop: bit-sliced for
+    // linear mappings, scalar otherwise.
+    const ModuleId *mods = premapped;
+    if (!mods) {
+        mods_.resize(stream.size());
+        slicer_.mapWith(
+            [&stream](std::size_t i) { return stream[i].addr; },
+            stream.size(), mods_.data());
+        mods = mods_.data();
+    }
+
     const Cycle t_cycles = cfg_.serviceCycles();
     std::size_t next = 0; // next request to issue
 
-    // The issue target is a pure function of the pending request;
-    // resolve it once per request instead of once per stall retry.
-    ModuleId target = 0;
-    std::size_t target_of = std::numeric_limits<std::size_t>::max();
     auto targetModule = [&]() -> ModuleId {
-        if (target_of != next) {
-            target = map_.moduleOf(stream[next].addr);
-            cfva_assert(target < cfg_.modules(),
-                        "mapping produced module ", target,
-                        " outside 2^", cfg_.m);
-            target_of = next;
-        }
+        const ModuleId target = mods[next];
+        cfva_assert(target < cfg_.modules(),
+                    "mapping produced module ", target,
+                    " outside 2^", cfg_.m);
         return target;
     };
 

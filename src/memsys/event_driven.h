@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mapping/bitslice.h"
 #include "mapping/mapping.h"
 #include "memsys/event_queue.h"
 #include "memsys/memory_system.h"
@@ -47,12 +48,14 @@ class EventDrivenMemorySystem
 {
   public:
     /**
-     * @param cfg  subsystem shape
-     * @param map  address mapping; must produce module numbers
-     *             < cfg.modules()
+     * @param cfg   subsystem shape
+     * @param map   address mapping; must produce module numbers
+     *              < cfg.modules()
+     * @param path  stream premap strategy (see makeMemoryBackend)
      */
     EventDrivenMemorySystem(const MemConfig &cfg,
-                            const ModuleMapping &map);
+                            const ModuleMapping &map,
+                            MapPath path = MapPath::BitSliced);
 
     /**
      * Simulates the access of @p stream issued one request per
@@ -61,16 +64,23 @@ class EventDrivenMemorySystem
      * When @p arena is given, the result's delivery buffer is
      * acquired from it instead of freshly allocated — tight sweeps
      * recycle buffers by releasing them back after consumption.
+     * @p premapped optionally supplies caller-computed module
+     * assignments (premapped[i] = mapping of stream[i].addr);
+     * otherwise the stream is premapped here, bit-sliced when the
+     * mapping exposes GF(2) rows.
      */
     AccessResult run(const std::vector<Request> &stream,
-                     DeliveryArena *arena = nullptr);
+                     DeliveryArena *arena = nullptr,
+                     const ModuleId *premapped = nullptr);
 
     const MemConfig &config() const { return cfg_; }
 
   private:
     MemConfig cfg_;
     const ModuleMapping &map_;
+    BitSlicedMapper slicer_;
     std::vector<MemoryModule> modules_;
+    std::vector<ModuleId> mods_; //!< premap scratch, reused per run
 
     /** Pending service completions, keyed by ready cycle. */
     ModuleEventHeap retire_;

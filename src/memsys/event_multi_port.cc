@@ -11,8 +11,10 @@ namespace cfva {
 using detail::PortState;
 
 EventDrivenMultiPort::EventDrivenMultiPort(const MemConfig &cfg,
-                                           const ModuleMapping &map)
-    : cfg_(cfg), map_(map), single_(cfg, map), retire_(cfg.modules()),
+                                           const ModuleMapping &map,
+                                           MapPath path)
+    : cfg_(cfg), map_(map), slicer_(map, path),
+      single_(cfg, map, path), retire_(cfg.modules()),
       retireBlocked_(cfg.modules(), 0)
 {
     cfva_assert(map.moduleBits() == cfg.m,
@@ -34,6 +36,14 @@ EventDrivenMultiPort::runSingle(const std::vector<Request> &stream,
     return single_.run(stream, arena);
 }
 
+AccessResult
+EventDrivenMultiPort::runSingleMapped(
+    const std::vector<Request> &stream, const ModuleId *modules,
+    DeliveryArena *arena)
+{
+    return single_.run(stream, arena, modules);
+}
+
 MultiPortResult
 EventDrivenMultiPort::run(
     const std::vector<std::vector<Request>> &streams,
@@ -52,10 +62,24 @@ EventDrivenMultiPort::run(
     for (auto &mod : modules)
         mod.reset();
 
-    std::vector<PortState> ports(n_ports);
+    // Member scratch: clear() + resize() value-initializes the
+    // PortStates while keeping the vector's own capacity.
+    ports_.clear();
+    ports_.resize(n_ports);
+    std::vector<PortState> &ports = ports_;
+
+    // Premap every stream before the event loop (bit-sliced for
+    // linear mappings); issue attempts below just index the result.
+    while (portMods_.size() < n_ports)
+        portMods_.emplace_back();
     std::size_t total = 0;
     for (unsigned p = 0; p < n_ports; ++p) {
         total += streams[p].size();
+        const std::vector<Request> &stream = streams[p];
+        portMods_[p].resize(stream.size());
+        slicer_.mapWith(
+            [&stream](std::size_t i) { return stream[i].addr; },
+            stream.size(), portMods_[p].data());
         if (arena)
             ports[p].delivered = arena->acquire(streams[p].size());
         else
@@ -98,23 +122,14 @@ EventDrivenMultiPort::run(
     order_.resize(n_ports);
     std::vector<unsigned> &order = order_;
 
-    // Each port's issue target is a pure function of its pending
-    // request; resolve once per request, not once per retry.
-    target_.assign(n_ports, 0);
-    targetOf_.assign(n_ports,
-                     std::numeric_limits<std::size_t>::max());
-    std::vector<ModuleId> &target = target_;
-    std::vector<std::size_t> &targetOf = targetOf_;
+    // Each port's issue target comes straight from the premapped
+    // stream.
     auto targetModule = [&](unsigned p) -> ModuleId {
-        PortState &ps = ports[p];
-        if (targetOf[p] != ps.next) {
-            target[p] = map_.moduleOf(streams[p][ps.next].addr);
-            cfva_assert(target[p] < cfg_.modules(),
-                        "mapping produced module ", target[p],
-                        " outside 2^", cfg_.m);
-            targetOf[p] = ps.next;
-        }
-        return target[p];
+        const ModuleId target = portMods_[p][ports[p].next];
+        cfva_assert(target < cfg_.modules(),
+                    "mapping produced module ", target,
+                    " outside 2^", cfg_.m);
+        return target;
     };
 
     const Cycle limit = detail::wedgeLimit(cfg_, total, n_ports);
@@ -207,17 +222,18 @@ EventDrivenMultiPort::run(
             if (ps.next >= streams[p].size())
                 continue;
             const Request &req = streams[p][ps.next];
-            MemoryModule &mod = modules[targetModule(p)];
+            const ModuleId tgt = targetModule(p);
+            MemoryModule &mod = modules[tgt];
             if (mod.canAccept()) {
                 Delivery d;
                 d.addr = req.addr;
                 d.element = req.element;
-                d.module = target[p];
+                d.module = tgt;
                 d.port = p;
                 d.issued = now;
                 d.arrived = now + 1;
                 mod.accept(d);
-                arrivals.push(target[p], d.arrived);
+                arrivals.push(tgt, d.arrived);
                 if (!ps.started) {
                     ps.started = true;
                     ps.firstIssue = now;
@@ -272,8 +288,7 @@ EventDrivenMultiPort::run(
         now = wake;
     }
 
-    return detail::assemblePortResults(cfg_, streams,
-                                       std::move(ports), makespan);
+    return detail::assemblePortResults(cfg_, streams, ports, makespan);
 }
 
 MultiPortResult

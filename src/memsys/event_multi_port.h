@@ -54,12 +54,14 @@ class EventDrivenMultiPort final : public MemoryBackend
 {
   public:
     /**
-     * @param cfg  memory shape (modules, T, buffers)
-     * @param map  shared address mapping; must produce module
-     *             numbers < cfg.modules()
+     * @param cfg   memory shape (modules, T, buffers)
+     * @param map   shared address mapping; must produce module
+     *              numbers < cfg.modules()
+     * @param path  stream premap strategy (see makeMemoryBackend)
      */
     EventDrivenMultiPort(const MemConfig &cfg,
-                         const ModuleMapping &map);
+                         const ModuleMapping &map,
+                         MapPath path = MapPath::BitSliced);
 
     MultiPortResult
     run(const std::vector<std::vector<Request>> &streams,
@@ -71,11 +73,18 @@ class EventDrivenMultiPort final : public MemoryBackend
     runSingle(const std::vector<Request> &stream,
               DeliveryArena *arena = nullptr) override;
 
+    /** runSingle() with caller-supplied module assignments. */
+    AccessResult
+    runSingleMapped(const std::vector<Request> &stream,
+                    const ModuleId *modules,
+                    DeliveryArena *arena = nullptr) override;
+
     const char *name() const override { return "event-driven"; }
 
   private:
     MemConfig cfg_;
     const ModuleMapping &map_;
+    BitSlicedMapper slicer_;
 
     // Persistent across run() calls so a cached backend stops
     // paying the per-access construction cost: the module array,
@@ -91,8 +100,8 @@ class EventDrivenMultiPort final : public MemoryBackend
     std::vector<std::uint8_t> retireBlocked_;
     std::vector<ModuleId> startable_;
     std::vector<unsigned> order_;
-    std::vector<ModuleId> target_;
-    std::vector<std::size_t> targetOf_;
+    std::vector<detail::PortState> ports_; //!< per-port scratch
+    std::vector<std::vector<ModuleId>> portMods_; //!< premap scratch
 };
 
 /**

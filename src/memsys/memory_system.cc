@@ -8,8 +8,8 @@
 namespace cfva {
 
 MemorySystem::MemorySystem(const MemConfig &cfg,
-                           const ModuleMapping &map)
-    : cfg_(cfg), map_(map)
+                           const ModuleMapping &map, MapPath path)
+    : cfg_(cfg), map_(map), slicer_(map, path)
 {
     cfva_assert(map.moduleBits() == cfg.m,
                 "mapping has 2^", map.moduleBits(),
@@ -45,7 +45,7 @@ MemorySystem::deliverOne(Cycle now, AccessResult &result)
 
 AccessResult
 MemorySystem::run(const std::vector<Request> &stream,
-                  DeliveryArena *arena)
+                  DeliveryArena *arena, const ModuleId *premapped)
 {
     // Self-resetting: one instance serves many accesses (the
     // backend cache reuses engines across a whole sweep), so any
@@ -63,9 +63,28 @@ MemorySystem::run(const std::vector<Request> &stream,
         return result;
     }
 
+    // Premap the whole stream once, before the cycle loop: bit-
+    // sliced for linear mappings, scalar otherwise.  This also
+    // removes the historical re-map on every stall retry (moduleOf
+    // is pure, so the timing is unchanged).
+    const ModuleId *mods = premapped;
+    if (!mods) {
+        mods_.resize(stream.size());
+        slicer_.mapWith(
+            [&stream](std::size_t i) { return stream[i].addr; },
+            stream.size(), mods_.data());
+        mods = mods_.data();
+    }
+
     const Cycle t_cycles = cfg_.serviceCycles();
     std::size_t next = 0;     // next request to issue
     bool stalled_attempt = false;
+
+    // Aggregate occupancy, maintained from the modules' returns so
+    // the whole-array scans below can be skipped on quiet cycles.
+    unsigned busy = 0;     // modules with a service in flight
+    unsigned queued = 0;   // accepted requests not yet in service
+    unsigned inOutput = 0; // serviced elements awaiting the bus
 
     // Hard cap: a stream of L requests on one module with all
     // buffering degenerates to ~L*T cycles; anything far beyond that
@@ -77,21 +96,34 @@ MemorySystem::run(const std::vector<Request> &stream,
         cfva_assert(now <= limit, "simulation wedged at cycle ", now);
 
         // 1. Retire finished services into output buffers.
-        for (auto &mod : modules_)
-            mod.retire(now);
+        if (busy != 0) {
+            for (auto &mod : modules_) {
+                if (mod.retire(now)) {
+                    --busy;
+                    ++inOutput;
+                }
+            }
+        }
 
         // 2. Return bus: at most one delivery per cycle.
-        deliverOne(now, result);
+        if (inOutput != 0 && deliverOne(now, result))
+            --inOutput;
 
         // 3. Start new services (same cycle a module retired is OK:
         //    the module was busy [start, start+T-1]).
-        for (auto &mod : modules_)
-            mod.tryStart(now);
+        if (queued != 0) {
+            for (auto &mod : modules_) {
+                if (mod.tryStart(now)) {
+                    --queued;
+                    ++busy;
+                }
+            }
+        }
 
         // 4. Processor: attempt to issue one request.
         if (next < stream.size()) {
             const Request &req = stream[next];
-            const ModuleId target = map_.moduleOf(req.addr);
+            const ModuleId target = mods[next];
             cfva_assert(target < cfg_.modules(),
                         "mapping produced module ", target,
                         " outside 2^", cfg_.m);
@@ -104,6 +136,7 @@ MemorySystem::run(const std::vector<Request> &stream,
                 d.issued = now;
                 d.arrived = now + 1; // 1-cycle request bus
                 mod.accept(d);
+                ++queued;
                 if (next == 0)
                     result.firstIssue = now;
                 ++next;

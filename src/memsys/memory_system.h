@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mapping/bitslice.h"
 #include "mapping/mapping.h"
 #include "memsys/module.h"
 #include "memsys/request.h"
@@ -50,24 +51,36 @@ class MemorySystem
 {
   public:
     /**
-     * @param cfg  subsystem shape
-     * @param map  address mapping; must produce module numbers
-     *             < cfg.modules()
+     * @param cfg   subsystem shape
+     * @param map   address mapping; must produce module numbers
+     *              < cfg.modules()
+     * @param path  BitSliced premaps whole streams via the mapping's
+     *              GF(2) rows when available; Scalar forces
+     *              per-element moduleOf() (for differential tests)
      */
-    MemorySystem(const MemConfig &cfg, const ModuleMapping &map);
+    MemorySystem(const MemConfig &cfg, const ModuleMapping &map,
+                 MapPath path = MapPath::BitSliced);
 
     /**
      * Simulates the access of @p stream issued one request per
      * cycle starting at cycle 0.
      *
-     * @param stream  requests in the desired temporal order
-     * @param arena   optional recycler the result's delivery
-     *                buffer is acquired from (timing-neutral; the
-     *                records are identical either way)
+     * The whole stream is premapped to module numbers before the
+     * cycle loop (bit-sliced for linear mappings); pass
+     * @p premapped to supply assignments computed by the caller
+     * instead (premapped[i] must equal the mapping of
+     * stream[i].addr).
+     *
+     * @param stream     requests in the desired temporal order
+     * @param arena      optional recycler the result's delivery
+     *                   buffer is acquired from (timing-neutral; the
+     *                   records are identical either way)
+     * @param premapped  optional caller-computed module assignments
      * @return timing of every element plus aggregate metrics
      */
     AccessResult run(const std::vector<Request> &stream,
-                     DeliveryArena *arena = nullptr);
+                     DeliveryArena *arena = nullptr,
+                     const ModuleId *premapped = nullptr);
 
     const MemConfig &config() const { return cfg_; }
 
@@ -77,7 +90,9 @@ class MemorySystem
 
     MemConfig cfg_;
     const ModuleMapping &map_;
+    BitSlicedMapper slicer_;
     std::vector<MemoryModule> modules_;
+    std::vector<ModuleId> mods_; //!< premap scratch, reused per run
 };
 
 /**

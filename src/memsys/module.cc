@@ -1,9 +1,5 @@
 #include "memsys/module.h"
 
-#include <algorithm>
-
-#include "common/logging.h"
-
 namespace cfva {
 
 MemoryModule::MemoryModule(ModuleId id, Cycle serviceCycles,
@@ -14,81 +10,8 @@ MemoryModule::MemoryModule(ModuleId id, Cycle serviceCycles,
     cfva_assert(serviceCycles >= 1, "T must be >= 1");
     cfva_assert(inputDepth >= 1, "q must be >= 1");
     cfva_assert(outputDepth >= 1, "q' must be >= 1");
-}
-
-bool
-MemoryModule::canAccept() const
-{
-    return input_.size() < inputDepth_;
-}
-
-void
-MemoryModule::accept(const Delivery &d)
-{
-    cfva_assert(canAccept(), "module ", id_, " input buffer overflow");
-    cfva_assert(d.module == id_, "request for module ", d.module,
-                " routed to module ", id_);
-    input_.push_back(d);
-    peakInput_ = std::max(peakInput_,
-                          static_cast<unsigned>(input_.size()));
-}
-
-void
-MemoryModule::retire(Cycle now)
-{
-    if (!inService_)
-        return;
-    if (inService_->ready > now)
-        return;
-    if (output_.size() >= outputDepth_)
-        return; // blocked: the finished element waits in place
-    output_.push_back(*inService_);
-    inService_.reset();
-}
-
-void
-MemoryModule::tryStart(Cycle now)
-{
-    if (inService_ || input_.empty())
-        return;
-    if (input_.front().arrived > now)
-        return;
-    Delivery d = input_.front();
-    input_.pop_front();
-    d.serviceStart = now;
-    d.ready = now + serviceCycles_;
-    inService_ = d;
-}
-
-const Delivery *
-MemoryModule::outputHead() const
-{
-    return output_.empty() ? nullptr : &output_.front();
-}
-
-Delivery
-MemoryModule::popOutput()
-{
-    cfva_assert(!output_.empty(), "module ", id_,
-                " output pop on empty buffer");
-    Delivery d = output_.front();
-    output_.pop_front();
-    return d;
-}
-
-bool
-MemoryModule::drained() const
-{
-    return input_.empty() && !inService_ && output_.empty();
-}
-
-void
-MemoryModule::reset()
-{
-    input_.clear();
-    inService_.reset();
-    output_.clear();
-    peakInput_ = 0;
+    input_.resize(inputDepth_);
+    output_.resize(outputDepth_);
 }
 
 } // namespace cfva

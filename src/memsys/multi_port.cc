@@ -10,8 +10,10 @@ namespace cfva {
 using detail::PortState;
 
 PerCycleMultiPort::PerCycleMultiPort(const MemConfig &cfg,
-                                     const ModuleMapping &map)
-    : cfg_(cfg), map_(map), single_(cfg, map)
+                                     const ModuleMapping &map,
+                                     MapPath path)
+    : cfg_(cfg), map_(map), slicer_(map, path),
+      single_(cfg, map, path)
 {
     cfva_assert(map.moduleBits() == cfg.m,
                 "mapping has 2^", map.moduleBits(),
@@ -32,6 +34,14 @@ PerCycleMultiPort::runSingle(const std::vector<Request> &stream,
     return single_.run(stream, arena);
 }
 
+AccessResult
+PerCycleMultiPort::runSingleMapped(const std::vector<Request> &stream,
+                                   const ModuleId *modules,
+                                   DeliveryArena *arena)
+{
+    return single_.run(stream, arena, modules);
+}
+
 MultiPortResult
 PerCycleMultiPort::run(const std::vector<std::vector<Request>> &streams,
                        DeliveryArena *arena)
@@ -47,10 +57,24 @@ PerCycleMultiPort::run(const std::vector<std::vector<Request>> &streams,
     order_.resize(n_ports);
     std::vector<unsigned> &order = order_;
 
-    std::vector<PortState> ports(n_ports);
+    // Member scratch: clear() + resize() value-initializes the
+    // PortStates while keeping the vector's own capacity.
+    ports_.clear();
+    ports_.resize(n_ports);
+    std::vector<PortState> &ports = ports_;
+
+    // Premap every stream before the cycle loop (bit-sliced for
+    // linear mappings); issue attempts below just index the result.
+    while (portMods_.size() < n_ports)
+        portMods_.emplace_back();
     std::size_t total = 0;
     for (unsigned p = 0; p < n_ports; ++p) {
         total += streams[p].size();
+        const std::vector<Request> &stream = streams[p];
+        portMods_[p].resize(stream.size());
+        slicer_.mapWith(
+            [&stream](std::size_t i) { return stream[i].addr; },
+            stream.size(), portMods_[p].data());
         if (arena)
             ports[p].delivered = arena->acquire(streams[p].size());
         else
@@ -60,41 +84,62 @@ PerCycleMultiPort::run(const std::vector<std::vector<Request>> &streams,
 
     const Cycle limit = detail::wedgeLimit(cfg_, total, n_ports);
 
+    // Aggregate occupancy so quiet-phase scans can be skipped (same
+    // scheme as MemorySystem::run).
+    unsigned busy = 0;
+    unsigned queued = 0;
+    unsigned inOutput = 0;
+
     Cycle makespan = 0;
     for (Cycle now = 0; delivered_total < total; ++now) {
         cfva_assert(now <= limit, "multi-port simulation wedged at "
                     "cycle ", now);
 
         // 1. Retire finished services.
-        for (auto &mod : modules)
-            mod.retire(now);
+        if (busy != 0) {
+            for (auto &mod : modules) {
+                if (mod.retire(now)) {
+                    --busy;
+                    ++inOutput;
+                }
+            }
+        }
 
         // 2. Per-port return buses: each delivers its own oldest
         //    ready element.  Scanning output heads only is correct
         //    because module outputs drain in completion order.
-        for (unsigned p = 0; p < n_ports; ++p) {
-            MemoryModule *best = nullptr;
-            Cycle best_ready = std::numeric_limits<Cycle>::max();
-            for (auto &mod : modules) {
-                const Delivery *head = mod.outputHead();
-                if (head && head->port == p
-                    && head->ready < best_ready) {
-                    best = &mod;
-                    best_ready = head->ready;
+        if (inOutput != 0) {
+            for (unsigned p = 0; p < n_ports; ++p) {
+                MemoryModule *best = nullptr;
+                Cycle best_ready = std::numeric_limits<Cycle>::max();
+                for (auto &mod : modules) {
+                    const Delivery *head = mod.outputHead();
+                    if (head && head->port == p
+                        && head->ready < best_ready) {
+                        best = &mod;
+                        best_ready = head->ready;
+                    }
                 }
-            }
-            if (best) {
-                Delivery d = best->popOutput();
-                d.delivered = now;
-                ports[p].delivered.push_back(d);
-                ++delivered_total;
-                makespan = now;
+                if (best) {
+                    Delivery d = best->popOutput();
+                    --inOutput;
+                    d.delivered = now;
+                    ports[p].delivered.push_back(d);
+                    ++delivered_total;
+                    makespan = now;
+                }
             }
         }
 
         // 3. Start new services.
-        for (auto &mod : modules)
-            mod.tryStart(now);
+        if (queued != 0) {
+            for (auto &mod : modules) {
+                if (mod.tryStart(now)) {
+                    --queued;
+                    ++busy;
+                }
+            }
+        }
 
         // 4. Issue: least-issued port first.
         for (unsigned p = 0; p < n_ports; ++p)
@@ -111,7 +156,7 @@ PerCycleMultiPort::run(const std::vector<std::vector<Request>> &streams,
             if (ps.next >= streams[p].size())
                 continue;
             const Request &req = streams[p][ps.next];
-            const ModuleId target = map_.moduleOf(req.addr);
+            const ModuleId target = portMods_[p][ps.next];
             cfva_assert(target < cfg_.modules(),
                         "mapping produced module ", target,
                         " outside 2^", cfg_.m);
@@ -125,6 +170,7 @@ PerCycleMultiPort::run(const std::vector<std::vector<Request>> &streams,
                 d.issued = now;
                 d.arrived = now + 1;
                 mod.accept(d);
+                ++queued;
                 if (!ps.started) {
                     ps.started = true;
                     ps.firstIssue = now;
@@ -136,8 +182,7 @@ PerCycleMultiPort::run(const std::vector<std::vector<Request>> &streams,
         }
     }
 
-    return detail::assemblePortResults(cfg_, streams,
-                                       std::move(ports), makespan);
+    return detail::assemblePortResults(cfg_, streams, ports, makespan);
 }
 
 MultiPortResult

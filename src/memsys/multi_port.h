@@ -43,11 +43,13 @@ class PerCycleMultiPort final : public MemoryBackend
 {
   public:
     /**
-     * @param cfg  memory shape (modules, T, buffers)
-     * @param map  shared address mapping; must produce module
-     *             numbers < cfg.modules()
+     * @param cfg   memory shape (modules, T, buffers)
+     * @param map   shared address mapping; must produce module
+     *              numbers < cfg.modules()
+     * @param path  stream premap strategy (see makeMemoryBackend)
      */
-    PerCycleMultiPort(const MemConfig &cfg, const ModuleMapping &map);
+    PerCycleMultiPort(const MemConfig &cfg, const ModuleMapping &map,
+                      MapPath path = MapPath::BitSliced);
 
     MultiPortResult
     run(const std::vector<std::vector<Request>> &streams,
@@ -59,20 +61,29 @@ class PerCycleMultiPort final : public MemoryBackend
     runSingle(const std::vector<Request> &stream,
               DeliveryArena *arena = nullptr) override;
 
+    /** runSingle() with caller-supplied module assignments. */
+    AccessResult
+    runSingleMapped(const std::vector<Request> &stream,
+                    const ModuleId *modules,
+                    DeliveryArena *arena = nullptr) override;
+
     const char *name() const override { return "per-cycle"; }
 
   private:
     MemConfig cfg_;
     const ModuleMapping &map_;
+    BitSlicedMapper slicer_;
 
     // Persistent across run() calls so a cached backend stops
     // paying the per-access construction cost (module array with
-    // its buffer deques, the single-port engine, issue scratch).
-    // Every run() resets what it uses; results are bit-identical
-    // to a freshly constructed backend.
+    // its buffers, the single-port engine, issue and premap
+    // scratch).  Every run() resets what it uses; results are
+    // bit-identical to a freshly constructed backend.
     MemorySystem single_;
     std::vector<MemoryModule> modules_;
     std::vector<unsigned> order_; //!< issue-priority scratch
+    std::vector<detail::PortState> ports_; //!< per-port scratch
+    std::vector<std::vector<ModuleId>> portMods_; //!< premap scratch
 };
 
 /**

@@ -254,12 +254,14 @@ mixedStride(std::uint64_t baseStride, const PortMix &mix, unsigned p)
  * the mix, base address staggered per port, descending accesses
  * anchored at the top of their block so no address underflows.
  * @p a1 and @p baseStride are the access's own values — workloads
- * shift/scale them between accesses of a sequence.
+ * shift/scale them between accesses of a sequence.  With @p arena
+ * the stream buffer is drawn from the worker's request pool; the
+ * caller releases it back after the access runs.
  */
 AccessPlan
 planPortStream(const ScenarioGrid &grid, const Scenario &sc,
                const VectorAccessUnit &unit, unsigned p, Addr a1,
-               std::uint64_t baseStride)
+               std::uint64_t baseStride, DeliveryArena *arena)
 {
     const PortMix &mix = grid.portMixes[sc.portMixIndex];
     const std::int64_t stride = mixedStride(baseStride, mix, p);
@@ -268,7 +270,9 @@ planPortStream(const ScenarioGrid &grid, const Scenario &sc,
         start += (sc.length - 1)
                  * static_cast<std::uint64_t>(-stride);
     }
-    return unit.plan(start, stride, sc.length);
+    return unit.plan(start, stride, sc.length,
+                     arena ? arena->acquireRequests(sc.length)
+                           : std::vector<Request>{});
 }
 
 /** Scalar outcome of one access within a workload sequence. */
@@ -297,7 +301,7 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
                   const VectorAccessUnit &unit, Addr a1,
                   std::uint64_t baseStride, DeliveryArena *arena,
                   BackendCache *cache, AccessResult *loadOut,
-                  TierPolicy tier)
+                  TierPolicy tier, MapPath path)
 {
     AccessStats out;
     // Attribution only runs while the theory tier is active, so
@@ -306,14 +310,17 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
     TierCounters *tcp =
         tier == TierPolicy::TheoryFirst ? &tc : nullptr;
     if (sc.ports <= 1) {
-        AccessResult r = unit.execute(
-            planPortStream(grid, sc, unit, 0, a1, baseStride), arena,
-            cache, tier, tcp);
+        AccessPlan p =
+            planPortStream(grid, sc, unit, 0, a1, baseStride, arena);
+        AccessResult r =
+            unit.execute(p, arena, cache, tier, tcp, path);
         out.latency = r.latency;
         out.stalls = r.stallCycles;
         out.conflictFree = r.conflictFree;
         out.claimed = tc.claimed;
         out.fallback = tc.fallback;
+        if (arena)
+            arena->releaseRequests(std::move(p.stream));
         if (loadOut) {
             *loadOut = std::move(r);
         } else if (arena) {
@@ -331,11 +338,15 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
     streams.reserve(sc.ports);
     for (unsigned p = 0; p < sc.ports; ++p) {
         streams.push_back(
-            planPortStream(grid, sc, unit, p, a1, baseStride)
+            planPortStream(grid, sc, unit, p, a1, baseStride, arena)
                 .stream);
     }
     MultiPortResult r =
-        unit.executePorts(streams, arena, cache, tier, tcp);
+        unit.executePorts(streams, arena, cache, tier, tcp, path);
+    if (arena) {
+        for (auto &s : streams)
+            arena->releaseRequests(std::move(s));
+    }
     out.latency = r.makespan;
     for (auto &port : r.ports) {
         out.stalls += port.stallCycles;
@@ -419,7 +430,8 @@ ScenarioOutcome
 SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                          const VectorAccessUnit &unit,
                          DeliveryArena *arena, BackendCache *cache,
-                         WorkloadUnits *workloads, TierPolicy tier)
+                         WorkloadUnits *workloads, TierPolicy tier,
+                         MapPath path)
 {
     if (tier == TierPolicy::AuditBoth) {
         // Run the scenario under each tier and compare field for
@@ -432,10 +444,10 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
         // still report the claim rate.
         ScenarioOutcome simOut =
             runScenario(grid, sc, unit, arena, cache, workloads,
-                        TierPolicy::SimulateAlways);
+                        TierPolicy::SimulateAlways, path);
         ScenarioOutcome thOut =
             runScenario(grid, sc, unit, arena, cache, workloads,
-                        TierPolicy::TheoryFirst);
+                        TierPolicy::TheoryFirst, path);
         ScenarioOutcome cmp = thOut;
         cmp.theoryClaimed = 0;
         cmp.theoryFallback = 0;
@@ -477,7 +489,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
         out.minLatency = floor1;
         foldAccess(out, runWorkloadAccess(grid, sc, unit, sc.a1,
                                           sc.stride, arena, cache,
-                                          nullptr, tier));
+                                          nullptr, tier, path));
         return out;
       }
 
@@ -491,7 +503,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                    runWorkloadAccess(grid, sc, unit, sc.a1,
                                      sc.stride, arena, cache,
                                      capture ? &load : nullptr,
-                                     tier));
+                                     tier, path));
         out.decoupledCycles = out.latency;
         out.chainedCycles = out.latency;
         applyExecuteStep(out, sc, wl, std::move(load), arena);
@@ -511,7 +523,8 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                            grid, sc, unit,
                            sc.a1 + Addr{tap} * sc.stride, sc.stride,
                            arena, cache,
-                           capture ? &lastLoad : nullptr, tier));
+                           capture ? &lastLoad : nullptr, tier,
+                           path));
         }
         const Cycle loadTotal = out.latency;
         out.decoupledCycles = loadTotal;
@@ -519,7 +532,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
         applyExecuteStep(out, sc, wl, std::move(lastLoad), arena);
         const AccessStats store = runWorkloadAccess(
             grid, sc, unit, sc.a1, sc.stride, arena, cache, nullptr,
-            tier);
+            tier, path);
         foldAccess(out, store);
         out.decoupledCycles += store.latency;
         out.chainedCycles += store.latency;
@@ -586,7 +599,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                 foldAccess(out, runWorkloadAccess(
                                     grid, sc, *phaseUnit, sc.a1,
                                     phaseStride, arena, phaseCache,
-                                    nullptr, tier));
+                                    nullptr, tier, path));
             }
         }
         // The relayout charge is part of the program's memory time:
@@ -813,11 +826,15 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
         return;
     }
 
-    unsigned threads = opts_.threads
-                           ? opts_.threads
-                           : std::max(1u,
-                                      std::thread::
-                                          hardware_concurrency());
+    // Clamp explicit thread counts to the hardware: oversubscribed
+    // workers only contend for cores (and for each other's stolen
+    // chunks), so --threads 8 on a 1-CPU host silently degenerates
+    // to serial execution with extra scheduling cost.  The report
+    // is identical at any worker count, so clamping is safe.
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    unsigned threads =
+        opts_.threads ? std::min(opts_.threads, hw) : hw;
     const std::size_t grain =
         opts_.effectiveGrain(run.jobs, threads);
     const std::size_t chunkCount = (run.jobs + grain - 1) / grain;
@@ -862,7 +879,7 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
                     mine.unitFor(grid, sc.mappingIndex,
                                  opts_.engine),
                     &mine.deliveries, &mine.backends,
-                    &mine.workloads, opts_.tier));
+                    &mine.workloads, opts_.tier, opts_.mapPath));
                 const ScenarioOutcome &o = buf.back();
                 mine.theoryClaims += o.theoryClaimed;
                 mine.theoryFallbacks += o.theoryFallback;
@@ -895,6 +912,9 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
         run.theoryClaims += arena.theoryClaims;
         run.theoryFallbacks += arena.theoryFallbacks;
         run.tierAuditDivergences += arena.auditDivergences;
+        run.arenaAcquires += arena.deliveries.acquires();
+        run.arenaReuses += arena.deliveries.reuses();
+        run.arenaPeakBytes += arena.deliveries.peakBytes();
     }
     if (stats)
         *stats = run;

@@ -298,6 +298,15 @@ struct SweepRunStats
      *  streaming-mode peak memory is O(window), not O(jobs). */
     std::size_t peakPendingOutcomes = 0;
     std::size_t pendingWindow = 0;
+
+    /** Worker-arena accounting summed over all workers: buffer
+     *  requests served, requests served from a pool instead of the
+     *  allocator, and the summed high-water mark of retained pool
+     *  capacity.  A healthy hot path reuses nearly every request
+     *  after warmup (arenaReuses / arenaAcquires -> 1). */
+    std::uint64_t arenaAcquires = 0;
+    std::uint64_t arenaReuses = 0;
+    std::size_t arenaPeakBytes = 0;
 };
 
 /** Engine tuning knobs. */
@@ -348,6 +357,15 @@ struct SweepOptions
      * construction except for the tier-attribution columns.
      */
     TierPolicy tier = TierPolicy::SimulateAlways;
+
+    /**
+     * Address-to-module mapping path of every backend: the default
+     * bit-sliced GF(2) premap (64 elements per bit-matrix multiply)
+     * or the scalar per-element walk.  Reports are bit-identical
+     * either way (tests diff them); the knob exists to measure the
+     * bit-slice speedup and to debug with the simple path.
+     */
+    MapPath mapPath = MapPath::BitSliced;
 
     /** Panics on an impossible shard spec.  Any grain (including
      *  0 = adaptive) and any thread count are valid. */
@@ -422,7 +440,9 @@ class SweepEngine
                                        WorkloadUnits *workloads =
                                            nullptr,
                                        TierPolicy tier =
-                                           TierPolicy::SimulateAlways);
+                                           TierPolicy::SimulateAlways,
+                                       MapPath path =
+                                           MapPath::BitSliced);
 
     const SweepOptions &options() const { return opts_; }
 

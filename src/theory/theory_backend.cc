@@ -9,8 +9,10 @@ namespace cfva {
 
 TheoryBackend::TheoryBackend(const MemConfig &cfg,
                              const ModuleMapping &map,
-                             std::unique_ptr<MemoryBackend> fallback)
-    : cfg_(cfg), map_(map), fallback_(std::move(fallback))
+                             std::unique_ptr<MemoryBackend> fallback,
+                             MapPath path)
+    : cfg_(cfg), map_(map), slicer_(map, path),
+      fallback_(std::move(fallback))
 {
     cfva_assert(fallback_ != nullptr,
                 "TheoryBackend needs a simulation fallback");
@@ -36,9 +38,18 @@ TheoryBackend::tryClaim(const std::vector<Request> &stream,
     // an element bound for the same module starts service (retire +
     // start precede issue in the cycle order) before the next one
     // is accepted.  The schedule below is therefore exact.
+    // Premap the whole stream once (bit-sliced when the mapping
+    // exposes GF(2) rows); the proof loop, the synthesis loop, and
+    // — after a rejection — the simulation fallback all reuse it
+    // instead of each re-deriving every module number.
+    mods_.resize(L);
+    slicer_.mapWith(
+        [&stream](std::size_t i) { return stream[i].addr; }, L,
+        mods_.data());
+
     nextFree_.assign(cfg_.modules(), 0);
     for (std::size_t i = 0; i < L; ++i) {
-        const ModuleId mod = map_.moduleOf(stream[i].addr);
+        const ModuleId mod = mods_[i];
         cfva_assert(mod < cfg_.modules(),
                     "mapping produced out-of-range module");
         const Cycle arrive = static_cast<Cycle>(i) + 1;
@@ -54,7 +65,7 @@ TheoryBackend::tryClaim(const std::vector<Request> &stream,
         Delivery d;
         d.addr = stream[i].addr;
         d.element = stream[i].element;
-        d.module = map_.moduleOf(stream[i].addr);
+        d.module = mods_[i];
         d.issued = static_cast<Cycle>(i);
         d.arrived = d.issued + 1;
         d.serviceStart = d.arrived;
@@ -83,6 +94,12 @@ TheoryBackend::runSingleHinted(bool claimHint,
             stats_.add(true);
             return out;
         }
+        lastClaimed_ = false;
+        stats_.add(false);
+        // tryClaim premapped the stream before rejecting; hand the
+        // assignments to the engine instead of mapping twice.
+        return fallback_->runSingleMapped(stream, mods_.data(),
+                                          arena);
     }
     lastClaimed_ = false;
     stats_.add(false);

@@ -58,9 +58,11 @@ class TheoryBackend final : public MemoryBackend
      * @param cfg       memory shape the claims are proved against
      * @param map       address mapping (must outlive the backend)
      * @param fallback  simulation backend for rejected streams
+     * @param path      stream premap strategy (see makeMemoryBackend)
      */
     TheoryBackend(const MemConfig &cfg, const ModuleMapping &map,
-                  std::unique_ptr<MemoryBackend> fallback);
+                  std::unique_ptr<MemoryBackend> fallback,
+                  MapPath path = MapPath::BitSliced);
 
     MultiPortResult
     run(const std::vector<std::vector<Request>> &streams,
@@ -96,20 +98,24 @@ class TheoryBackend final : public MemoryBackend
 
   private:
     /**
-     * The O(L) claim proof + synthesis: walks the stream once,
-     * tracking each module's next-free cycle; if every request
-     * finds its module free on arrival the conflict-free schedule
-     * is exact and @p out is filled with the synthesized result.
-     * Returns false (leaving @p out untouched beyond scratch) when
-     * any request would queue.
+     * The O(L) claim proof + synthesis: premaps the whole stream
+     * (bit-sliced for linear mappings, once — the proof, the
+     * synthesis, and a fallback after rejection all reuse it), then
+     * walks it tracking each module's next-free cycle; if every
+     * request finds its module free on arrival the conflict-free
+     * schedule is exact and @p out is filled with the synthesized
+     * result.  Returns false (leaving @p out untouched beyond
+     * scratch) when any request would queue.
      */
     bool tryClaim(const std::vector<Request> &stream,
                   DeliveryArena *arena, AccessResult &out);
 
     MemConfig cfg_;
     const ModuleMapping &map_;
+    BitSlicedMapper slicer_;
     std::unique_ptr<MemoryBackend> fallback_;
     std::vector<Cycle> nextFree_; // per-module scratch
+    std::vector<ModuleId> mods_;  // premap scratch, reused per run
     TierCounters stats_;
     bool lastClaimed_ = false;
 };

@@ -453,5 +453,57 @@ TEST(SweepStream, MergeHandlesEmptyShards)
     EXPECT_EQ(mergedJson.str(), jsonOf(full));
 }
 
+TEST(SweepStream, MergeBenchToleratesExtendedWorkloadRows)
+{
+    // cfva_merge --bench splices rows as opaque text, so BENCH
+    // files written before the per-(workload, tier) extension —
+    // rows without a "tier" field, or no "workloads" section at
+    // all — merge with current ones instead of failing a schema
+    // check.
+    std::istringstream current(
+        "{\n  \"grid_jobs\": 1024,\n  \"map_path\": "
+        "\"bitsliced\",\n  \"runs\": [\n    {\"engine\": \"event\", "
+        "\"threads\": 1, \"scenarios_per_s\": 20000}\n  ],\n"
+        "  \"workloads\": [\n    {\"workload\": \"single\", "
+        "\"tier\": \"sim\", \"scenarios_per_s\": 20000}\n  ]\n}\n");
+    std::istringstream old(
+        "{\n  \"grid_jobs\": 1024,\n  \"runs\": [\n    "
+        "{\"engine\": \"event\", \"threads\": 2, "
+        "\"scenarios_per_s\": 30000}\n  ],\n  \"workloads\": [\n"
+        "    {\"workload\": \"single\", \"scenarios_per_s\": "
+        "29000}\n  ]\n}\n");
+    std::istringstream ancient(
+        "{\n  \"grid_jobs\": 1024,\n  \"runs\": [\n    "
+        "{\"engine\": \"percycle\", \"threads\": 1, "
+        "\"scenarios_per_s\": 9000}\n  ]\n}\n");
+    std::vector<std::istream *> in{&current, &old, &ancient};
+    std::ostringstream out;
+    mergeBench(out, in);
+    const std::string merged = out.str();
+
+    // Header scalars come from the first file only.
+    EXPECT_NE(merged.find("\"map_path\": \"bitsliced\""),
+              std::string::npos);
+    // All three runs rows survive, in input order.
+    EXPECT_NE(merged.find("\"threads\": 2"), std::string::npos);
+    EXPECT_NE(merged.find("\"percycle\""), std::string::npos);
+    // Both workloads rows survive — with and without "tier" — and
+    // the ancient file (no workloads section) contributes nothing.
+    EXPECT_NE(merged.find("\"tier\": \"sim\""), std::string::npos);
+    EXPECT_NE(merged.find("\"scenarios_per_s\": 29000"),
+              std::string::npos);
+    EXPECT_LT(merged.find("\"threads\": 2"),
+              merged.find("\"percycle\""));
+}
+
+TEST(SweepStream, MergeBenchRejectsNonBenchInput)
+{
+    test::ScopedPanicThrow guard;
+    std::istringstream notBench("[\n  {\"job\": 0}\n]\n");
+    std::vector<std::istream *> in{&notBench};
+    std::ostringstream out;
+    EXPECT_THROW(mergeBench(out, in), std::runtime_error);
+}
+
 } // namespace
 } // namespace cfva::sim

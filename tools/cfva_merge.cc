@@ -32,14 +32,20 @@ namespace {
 void
 usage(std::ostream &os)
 {
-    os << "usage: cfva_merge --csv|--json OUT SHARD0 SHARD1 ...\n"
+    os << "usage: cfva_merge --csv|--json|--bench OUT IN0 IN1 ...\n"
           "\n"
           "Concatenates cfva_sweep shard outputs (given in shard\n"
           "order) into the canonical unsharded report.  OUT may be\n"
           "'-' for stdout.  Shards are schema-checked against each\n"
           "other (CSV header line / JSON field names) and the merge\n"
           "fails with a diagnostic rather than silently\n"
-          "concatenating mixed schemas.\n";
+          "concatenating mixed schemas.\n"
+          "\n"
+          "--bench merges cfva_sweep --bench outputs\n"
+          "(BENCH_sweep.json): header scalars from the first file,\n"
+          "\"runs\" and \"workloads\" arrays concatenated.  Rows\n"
+          "are spliced as opaque text, so old and extended row\n"
+          "formats (e.g. per-(workload, tier) rows) coexist.\n";
 }
 
 } // namespace
@@ -47,7 +53,7 @@ usage(std::ostream &os)
 int
 main(int argc, char **argv)
 {
-    bool csv = false, json = false;
+    bool csv = false, json = false, bench = false;
     std::string outPath;
     std::vector<std::string> shardPaths;
     for (int i = 1; i < argc; ++i) {
@@ -59,15 +65,17 @@ main(int argc, char **argv)
             csv = true;
         } else if (a == "--json") {
             json = true;
+        } else if (a == "--bench") {
+            bench = true;
         } else if (outPath.empty()) {
             outPath = a;
         } else {
             shardPaths.push_back(a);
         }
     }
-    if (csv == json) {
+    if ((csv ? 1 : 0) + (json ? 1 : 0) + (bench ? 1 : 0) != 1) {
         usage(std::cerr);
-        cfva_fatal("pick exactly one of --csv / --json");
+        cfva_fatal("pick exactly one of --csv / --json / --bench");
     }
     if (outPath.empty() || shardPaths.empty()) {
         usage(std::cerr);
@@ -95,6 +103,8 @@ main(int argc, char **argv)
 
     if (csv)
         sim::mergeCsv(*out, shards);
+    else if (bench)
+        sim::mergeBench(*out, shards);
     else
         sim::mergeJson(*out, shards);
     return 0;

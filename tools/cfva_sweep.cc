@@ -15,6 +15,7 @@
  * perf trajectory is tracked across PRs.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -24,6 +25,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cfva/cfva.h"
@@ -96,7 +98,14 @@ usage(std::ostream &os)
           "                     both tiers on every scenario,\n"
           "                     cross-checks them bit for bit, and\n"
           "                     exits non-zero on any divergence\n"
-          "  --threads N        worker threads (0 = all cores)\n"
+          "  --map-path P       bitsliced | scalar (default\n"
+          "                     bitsliced): premap request streams\n"
+          "                     with the GF(2) bit-matrix kernel\n"
+          "                     (64 elements per multiply) or the\n"
+          "                     per-element walk; reports are bit-\n"
+          "                     identical either way\n"
+          "  --threads N        worker threads (0 = all cores;\n"
+          "                     clamped to the hardware)\n"
           "  --grain N          jobs per work item (0 = adaptive,\n"
           "                     the default: ~8 chunks per worker)\n"
           "  --shard I/N        run only the i-th (0-based) of N\n"
@@ -231,6 +240,17 @@ parseWorkloadKind(const std::string &name)
                " (expected single|chain|retune|stencil)");
 }
 
+MapPath
+parseMapPath(const std::string &name)
+{
+    if (name == "bitsliced")
+        return MapPath::BitSliced;
+    if (name == "scalar")
+        return MapPath::Scalar;
+    cfva_fatal("unknown map path: ", name,
+               " (expected bitsliced|scalar)");
+}
+
 TierPolicy
 parseTier(const std::string &name)
 {
@@ -312,6 +332,7 @@ struct Options
     bool stream = false;
     std::vector<EngineKind> engines = {EngineKind::PerCycle};
     TierPolicy tier = TierPolicy::SimulateAlways;
+    MapPath mapPath = MapPath::BitSliced;
     std::string csvPath;
     std::string jsonPath;
     bool summary = true;
@@ -384,6 +405,8 @@ parseArgs(int argc, char **argv)
             o.engines = parseEngines(need(i, "--engine"));
         } else if (a == "--tier") {
             o.tier = parseTier(need(i, "--tier"));
+        } else if (a == "--map-path") {
+            o.mapPath = parseMapPath(need(i, "--map-path"));
         } else if (a == "--threads") {
             o.threads = parseU32(need(i, "--threads"),
                                  "--threads");
@@ -556,12 +579,14 @@ struct BenchRun
     sim::SweepRunStats stats;
 };
 
-/** One per-workload --bench timing row: the grid narrowed to a
- *  single workload program, so the perf trajectory tracks
- *  program-level scenarios, not just raw accesses. */
+/** One per-(workload, tier) --bench timing row: the grid narrowed
+ *  to a single workload program under one evaluation tier, so the
+ *  perf trajectory tracks program-level scenarios, not just raw
+ *  accesses, for every tier the bench actually ran. */
 struct WorkloadBenchRun
 {
     std::string label;
+    TierPolicy tier = TierPolicy::SimulateAlways;
     std::size_t jobs = 0;
     double seconds = 0.0;
     double scenariosPerSec = 0.0;
@@ -583,6 +608,7 @@ writeBenchJson(const std::string &path, const Options &o,
         << ",\n  \"shard\": \"" << o.shard.index << "/"
         << o.shard.count << "\",\n  \"grain\": " << o.grain
         << ",\n  \"tier\": \"" << to_string(o.tier)
+        << "\",\n  \"map_path\": \"" << to_string(o.mapPath)
         << "\",\n  \"reports_identical\": "
         << (identical ? "true" : "false") << ",\n  \"runs\": [";
     for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -604,13 +630,18 @@ writeBenchJson(const std::string &path, const Options &o,
             << ", \"tier_audit_divergences\": "
             << r.stats.tierAuditDivergences
             << ", \"peak_pending_outcomes\": "
-            << r.stats.peakPendingOutcomes << "}";
+            << r.stats.peakPendingOutcomes
+            << ", \"arena_acquires\": " << r.stats.arenaAcquires
+            << ", \"arena_reuses\": " << r.stats.arenaReuses
+            << ", \"arena_peak_bytes\": " << r.stats.arenaPeakBytes
+            << "}";
     }
     out << "\n  ],\n  \"workloads\": [";
     for (std::size_t i = 0; i < workloadRuns.size(); ++i) {
         const WorkloadBenchRun &w = workloadRuns[i];
         out << (i ? ",\n" : "\n") << "    {\"workload\": \""
-            << w.label << "\", \"jobs\": " << w.jobs
+            << w.label << "\", \"tier\": \"" << to_string(w.tier)
+            << "\", \"jobs\": " << w.jobs
             << ", \"seconds\": " << fixed(w.seconds, 6)
             << ", \"scenarios_per_s\": "
             << fixed(w.scenariosPerSec, 0) << "}";
@@ -661,6 +692,8 @@ main(int argc, char **argv)
     info << "engine: " << engineNames << "\n";
     if (o.tier != TierPolicy::SimulateAlways)
         info << "tier: " << to_string(o.tier) << "\n";
+    if (o.mapPath != MapPath::BitSliced)
+        info << "map path: " << to_string(o.mapPath) << "\n";
 
     if (!o.benchThreads.empty()) {
         TextTable t({"engine", "tier", "threads", "seconds",
@@ -689,8 +722,29 @@ main(int argc, char **argv)
             warm.shard = o.shard;
             warm.engine = o.engines.front();
             warm.tier = o.tier;
+            warm.mapPath = o.mapPath;
             sim::SweepReport scratch;
             timedRun(sim::SweepEngine(warm), grid, scratch);
+        }
+        // The engine clamps workers to the hardware, so on a host
+        // with fewer cores than the requested counts the surplus
+        // rows would time the identical clamped run again — skip
+        // them instead of recording misleading "scaling" numbers.
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        std::vector<std::uint64_t> benchThreads;
+        for (std::uint64_t threads : o.benchThreads) {
+            const std::uint64_t clamped =
+                threads ? std::min<std::uint64_t>(threads, hw) : hw;
+            if (std::find(benchThreads.begin(), benchThreads.end(),
+                          clamped)
+                != benchThreads.end()) {
+                info << "bench: skipping threads=" << threads
+                     << " (clamps to " << clamped << " on " << hw
+                     << "-core host, already timed)\n";
+                continue;
+            }
+            benchThreads.push_back(clamped);
         }
         // Tier attribution legitimately differs between tiers;
         // identity across runs is judged on everything else.
@@ -705,13 +759,14 @@ main(int argc, char **argv)
         bool haveBase = false;
         for (EngineKind engine : o.engines) {
             for (TierPolicy tier : tiers) {
-                for (std::uint64_t threads : o.benchThreads) {
+                for (std::uint64_t threads : benchThreads) {
                     sim::SweepOptions opts;
                     opts.threads = static_cast<unsigned>(threads);
                     opts.grain = o.grain;
                     opts.shard = o.shard;
                     opts.engine = engine;
                     opts.tier = tier;
+                    opts.mapPath = o.mapPath;
                     sim::SweepReport report;
                     sim::SweepRunStats stats;
                     const double secs = timedRun(
@@ -750,50 +805,67 @@ main(int argc, char **argv)
 
         // Per-workload timing rows: the same grid narrowed to each
         // workload program in turn (first engine, first thread
-        // count), so BENCH_sweep.json tracks program-level
-        // scenarios — chain/retune/stencil sequences — not just
-        // raw accesses.  A single-workload grid reuses the first
-        // scaling run's timing: the narrowed grid would be the
-        // grid already timed.
+        // count), one row per evaluation tier the scaling bench
+        // actually ran, so BENCH_sweep.json tracks program-level
+        // scenarios — chain/retune/stencil sequences — under every
+        // tier instead of recording only the leading run.  A
+        // single-workload grid reuses the matching scaling rows:
+        // the narrowed grid would be the grid already timed.
         std::vector<WorkloadBenchRun> workloadRuns;
         {
-            TextTable wt({"workload", "jobs", "seconds",
+            TextTable wt({"workload", "tier", "jobs", "seconds",
                           "scenarios/s"});
             for (const auto &wl : grid.workloads) {
-                WorkloadBenchRun row;
-                row.label = wl.label();
-                if (grid.workloads.size() == 1) {
-                    row.jobs = first.jobs();
-                    row.seconds = runs.front().seconds;
-                    row.scenariosPerSec =
-                        runs.front().scenariosPerSec;
-                } else {
-                    sim::ScenarioGrid sub = grid;
-                    sub.workloads = {wl};
-                    sim::SweepOptions opts;
-                    opts.threads = static_cast<unsigned>(
-                        o.benchThreads.front());
-                    opts.grain = o.grain;
-                    opts.shard = o.shard;
-                    opts.engine = o.engines.front();
-                    opts.tier = o.tier;
-                    sim::SweepReport r;
-                    row.seconds =
-                        timedRun(sim::SweepEngine(opts), sub, r);
-                    row.jobs = r.jobs();
-                    row.scenariosPerSec =
-                        static_cast<double>(r.jobs()) / row.seconds;
+                for (TierPolicy tier : tiers) {
+                    WorkloadBenchRun row;
+                    row.label = wl.label();
+                    row.tier = tier;
+                    const BenchRun *reuse = nullptr;
+                    if (grid.workloads.size() == 1) {
+                        for (const auto &r : runs) {
+                            if (r.engine == o.engines.front()
+                                && r.tier == tier
+                                && r.threads
+                                       == benchThreads.front()) {
+                                reuse = &r;
+                                break;
+                            }
+                        }
+                    }
+                    if (reuse) {
+                        row.jobs = first.jobs();
+                        row.seconds = reuse->seconds;
+                        row.scenariosPerSec = reuse->scenariosPerSec;
+                    } else {
+                        sim::ScenarioGrid sub = grid;
+                        sub.workloads = {wl};
+                        sim::SweepOptions opts;
+                        opts.threads = static_cast<unsigned>(
+                            benchThreads.front());
+                        opts.grain = o.grain;
+                        opts.shard = o.shard;
+                        opts.engine = o.engines.front();
+                        opts.tier = tier;
+                        opts.mapPath = o.mapPath;
+                        sim::SweepReport r;
+                        row.seconds =
+                            timedRun(sim::SweepEngine(opts), sub, r);
+                        row.jobs = r.jobs();
+                        row.scenariosPerSec =
+                            static_cast<double>(r.jobs())
+                            / row.seconds;
+                    }
+                    workloadRuns.push_back(row);
+                    wt.row(row.label, to_string(row.tier), row.jobs,
+                           fixed(row.seconds, 3),
+                           fixed(row.scenariosPerSec, 0));
                 }
-                workloadRuns.push_back(row);
-                wt.row(row.label, row.jobs, fixed(row.seconds, 3),
-                       fixed(row.scenariosPerSec, 0));
             }
             wt.print(info, "Per-workload timing [engine: "
                                + std::string(to_string(
                                    o.engines.front()))
                                + ", threads: "
-                               + std::to_string(
-                                   o.benchThreads.front())
+                               + std::to_string(benchThreads.front())
                                + "]");
         }
         info << (allIdentical
@@ -819,6 +891,10 @@ main(int argc, char **argv)
                               : 0.0,
                           1)
                  << "% of backend lookups reused)\n";
+            info << "worker arena: " << s.arenaReuses << " of "
+                 << s.arenaAcquires
+                 << " buffer acquires served from pools, peak "
+                 << s.arenaPeakBytes << " bytes retained\n";
             // The first row with the requested tier carries the
             // attribution (under --tier theory the leading rows
             // are the simulation baseline and count nothing).
@@ -858,6 +934,7 @@ main(int argc, char **argv)
         opts.shard = o.shard;
         opts.engine = o.engines.front();
         opts.tier = o.tier;
+        opts.mapPath = o.mapPath;
 
         std::ofstream csvFile, jsonFile;
         std::optional<sim::CsvStreamSink> csvSink;
@@ -921,6 +998,7 @@ main(int argc, char **argv)
         opts.shard = o.shard;
         opts.engine = o.engines[e];
         opts.tier = o.tier;
+        opts.mapPath = o.mapPath;
         sim::SweepReport r;
         sim::SweepRunStats stats;
         const double secs =
