@@ -371,7 +371,7 @@ AccessResult
 VectorAccessUnit::execute(const AccessPlan &plan,
                           DeliveryArena *arena, BackendCache *cache,
                           TierPolicy tier, TierCounters *tiers,
-                          MapPath path) const
+                          MapPath path, CollapseMode collapse) const
 {
     cfva_assert(tier != TierPolicy::AuditBoth,
                 "AuditBoth is resolved by the caller running both "
@@ -379,7 +379,8 @@ VectorAccessUnit::execute(const AccessPlan &plan,
     if (tier == TierPolicy::TheoryFirst) {
         if (cache) {
             auto &tb = cache->theoryBackendFor(
-                cfg_.engine, cfg_.memConfig(), *mapping_, path);
+                cfg_.engine, cfg_.memConfig(), *mapping_, path,
+                collapse);
             AccessResult r = tb.runSingleHinted(
                 plan.expectConflictFree, plan.stream, arena);
             if (tiers)
@@ -389,7 +390,7 @@ VectorAccessUnit::execute(const AccessPlan &plan,
         TheoryBackend tb(
             cfg_.memConfig(), *mapping_,
             makeMemoryBackend(cfg_.engine, cfg_.memConfig(),
-                              *mapping_, path),
+                              *mapping_, path, collapse),
             path);
         AccessResult r = tb.runSingleHinted(plan.expectConflictFree,
                                             plan.stream, arena);
@@ -402,11 +403,11 @@ VectorAccessUnit::execute(const AccessPlan &plan,
     if (cache) {
         return cache
             ->backendFor(cfg_.engine, cfg_.memConfig(), *mapping_,
-                         path)
+                         path, collapse)
             .runSingle(plan.stream, arena);
     }
     return makeMemoryBackend(cfg_.engine, cfg_.memConfig(), *mapping_,
-                             path)
+                             path, collapse)
         ->runSingle(plan.stream, arena);
 }
 
@@ -414,7 +415,7 @@ MultiPortResult
 VectorAccessUnit::executePorts(
     const std::vector<std::vector<Request>> &streams,
     DeliveryArena *arena, BackendCache *cache, TierPolicy tier,
-    TierCounters *tiers, MapPath path) const
+    TierCounters *tiers, MapPath path, CollapseMode collapse) const
 {
     cfva_assert(tier != TierPolicy::AuditBoth,
                 "AuditBoth is resolved by the caller running both "
@@ -422,7 +423,8 @@ VectorAccessUnit::executePorts(
     if (tier == TierPolicy::TheoryFirst) {
         if (cache) {
             auto &tb = cache->theoryBackendFor(
-                cfg_.engine, cfg_.memConfig(), *mapping_, path);
+                cfg_.engine, cfg_.memConfig(), *mapping_, path,
+                collapse);
             MultiPortResult r = tb.run(streams, arena);
             if (tiers)
                 tiers->add(tb.lastClaimed());
@@ -431,7 +433,7 @@ VectorAccessUnit::executePorts(
         TheoryBackend tb(
             cfg_.memConfig(), *mapping_,
             makeMemoryBackend(cfg_.engine, cfg_.memConfig(),
-                              *mapping_, path),
+                              *mapping_, path, collapse),
             path);
         MultiPortResult r = tb.run(streams, arena);
         if (tiers)
@@ -443,11 +445,11 @@ VectorAccessUnit::executePorts(
     if (cache) {
         return cache
             ->backendFor(cfg_.engine, cfg_.memConfig(), *mapping_,
-                         path)
+                         path, collapse)
             .run(streams, arena);
     }
     return makeMemoryBackend(cfg_.engine, cfg_.memConfig(), *mapping_,
-                             path)
+                             path, collapse)
         ->run(streams, arena);
 }
 

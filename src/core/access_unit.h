@@ -120,13 +120,17 @@ class VectorAccessUnit
      *
      * @p path selects the backend's stream-premap variant (see
      * makeMemoryBackend); results are bit-identical either way.
+     * @p collapse gates the single-port periodic fast path (also
+     * bit-identical; Off is the pure stepped oracle).
      */
     AccessResult execute(const AccessPlan &plan,
                          DeliveryArena *arena = nullptr,
                          BackendCache *cache = nullptr,
                          TierPolicy tier = TierPolicy::SimulateAlways,
                          TierCounters *tiers = nullptr,
-                         MapPath path = MapPath::BitSliced) const;
+                         MapPath path = MapPath::BitSliced,
+                         CollapseMode collapse =
+                             CollapseMode::On) const;
 
     /**
      * Runs P = streams.size() simultaneous request streams through
@@ -143,7 +147,8 @@ class VectorAccessUnit
                  BackendCache *cache = nullptr,
                  TierPolicy tier = TierPolicy::SimulateAlways,
                  TierCounters *tiers = nullptr,
-                 MapPath path = MapPath::BitSliced) const;
+                 MapPath path = MapPath::BitSliced,
+                 CollapseMode collapse = CollapseMode::On) const;
 
     /** plan() + execute() in one call. */
     AccessResult access(Addr a1, const Stride &s,

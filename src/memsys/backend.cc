@@ -125,13 +125,16 @@ MemoryBackend::runSingleMapped(const std::vector<Request> &stream,
 
 std::unique_ptr<MemoryBackend>
 makeMemoryBackend(EngineKind engine, const MemConfig &cfg,
-                  const ModuleMapping &map, MapPath path)
+                  const ModuleMapping &map, MapPath path,
+                  CollapseMode collapse)
 {
     switch (engine) {
       case EngineKind::PerCycle:
-        return std::make_unique<PerCycleMultiPort>(cfg, map, path);
+        return std::make_unique<PerCycleMultiPort>(cfg, map, path,
+                                                   collapse);
       case EngineKind::EventDriven:
-        return std::make_unique<EventDrivenMultiPort>(cfg, map, path);
+        return std::make_unique<EventDrivenMultiPort>(cfg, map, path,
+                                                      collapse);
     }
     cfva_panic("unreachable engine kind");
 }

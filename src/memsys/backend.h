@@ -249,6 +249,17 @@ class MemoryBackend
                     const ModuleId *modules,
                     DeliveryArena *arena = nullptr);
 
+    /**
+     * Collapse/memo attribution accumulated by this backend's
+     * single-port fast path (memsys/steady_state.h).  The default
+     * (no fast path) reports zeros.
+     */
+    virtual FastPathStats
+    fastPathStats() const
+    {
+        return {};
+    }
+
     /** Engine name for logs and diagnostics. */
     virtual const char *name() const = 0;
 };
@@ -260,11 +271,17 @@ class MemoryBackend
  * uses transposed GF(2) bit-matrix multiplies when the mapping
  * exposes fixed rows, Scalar forces per-element moduleOf() — the
  * differential tests and benches use the knob to compare the two.
+ * @p collapse gates the single-port periodic fast path
+ * (steady-state collapse + memo replay, bit-identical): On here —
+ * production callers want the speed and the result is contractually
+ * identical — while the raw engine constructors default to Off so a
+ * directly built engine stays a pure stepped oracle.
  */
 std::unique_ptr<MemoryBackend>
 makeMemoryBackend(EngineKind engine, const MemConfig &cfg,
                   const ModuleMapping &map,
-                  MapPath path = MapPath::BitSliced);
+                  MapPath path = MapPath::BitSliced,
+                  CollapseMode collapse = CollapseMode::On);
 
 namespace detail {
 

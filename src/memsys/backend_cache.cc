@@ -8,10 +8,12 @@ namespace cfva {
 
 MemoryBackend &
 BackendCache::backendFor(EngineKind engine, const MemConfig &cfg,
-                         const ModuleMapping &map, MapPath path)
+                         const ModuleMapping &map, MapPath path,
+                         CollapseMode collapse)
 {
     const Key key{engine,           cfg.m, cfg.t, cfg.inputBuffers,
-                  cfg.outputBuffers, &map, false, path};
+                  cfg.outputBuffers, &map, false, path,
+                  collapse};
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         if (entries_[i].key == key) {
             ++stats_.hits;
@@ -23,16 +25,19 @@ BackendCache::backendFor(EngineKind engine, const MemConfig &cfg,
     ++stats_.misses;
     entries_.insert(
         entries_.begin(),
-        Entry{key, makeMemoryBackend(engine, cfg, map, path)});
+        Entry{key,
+              makeMemoryBackend(engine, cfg, map, path, collapse)});
     return *entries_.front().backend;
 }
 
 TheoryBackend &
 BackendCache::theoryBackendFor(EngineKind engine, const MemConfig &cfg,
-                               const ModuleMapping &map, MapPath path)
+                               const ModuleMapping &map, MapPath path,
+                               CollapseMode collapse)
 {
     const Key key{engine,           cfg.m, cfg.t, cfg.inputBuffers,
-                  cfg.outputBuffers, &map, /*theory=*/true, path};
+                  cfg.outputBuffers, &map, /*theory=*/true, path,
+                  collapse};
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         if (entries_[i].key == key) {
             ++stats_.hits;
@@ -46,9 +51,19 @@ BackendCache::theoryBackendFor(EngineKind engine, const MemConfig &cfg,
         entries_.begin(),
         Entry{key,
               std::make_unique<TheoryBackend>(
-                  cfg, map, makeMemoryBackend(engine, cfg, map, path),
+                  cfg, map,
+                  makeMemoryBackend(engine, cfg, map, path, collapse),
                   path)});
     return static_cast<TheoryBackend &>(*entries_.front().backend);
+}
+
+FastPathStats
+BackendCache::fastPathStats() const
+{
+    FastPathStats total;
+    for (const auto &e : entries_)
+        total += e.backend->fastPathStats();
+    return total;
 }
 
 } // namespace cfva

@@ -61,10 +61,14 @@ class BackendCache
      * outlive the cache.  @p path is part of the key: a bit-sliced
      * and a scalar-premap variant of the same shape never alias one
      * entry (the differential harness holds both live at once).
+     * @p collapse is part of the key for the same reason: the
+     * collapse-off oracle and the collapse-on fast path must never
+     * alias (AuditBoth holds both live at once).
      */
     MemoryBackend &backendFor(EngineKind engine, const MemConfig &cfg,
                               const ModuleMapping &map,
-                              MapPath path = MapPath::BitSliced);
+                              MapPath path = MapPath::BitSliced,
+                              CollapseMode collapse = CollapseMode::On);
 
     /**
      * The analytic tier over the same shape: a TheoryBackend whose
@@ -75,9 +79,14 @@ class BackendCache
     TheoryBackend &theoryBackendFor(EngineKind engine,
                                     const MemConfig &cfg,
                                     const ModuleMapping &map,
-                                    MapPath path = MapPath::BitSliced);
+                                    MapPath path = MapPath::BitSliced,
+                                    CollapseMode collapse =
+                                        CollapseMode::On);
 
     const BackendCacheStats &stats() const { return stats_; }
+
+    /** Summed collapse/memo counters over every cached backend. */
+    FastPathStats fastPathStats() const;
 
     /** Distinct backends currently cached. */
     std::size_t size() const { return entries_.size(); }
@@ -96,6 +105,7 @@ class BackendCache
         const ModuleMapping *map = nullptr;
         bool theory = false; //!< analytic tier wrapping the engine
         MapPath path = MapPath::BitSliced; //!< premap variant
+        CollapseMode collapse = CollapseMode::On; //!< fast-path gate
 
         bool operator==(const Key &o) const = default;
     };

@@ -12,9 +12,10 @@ using detail::PortState;
 
 EventDrivenMultiPort::EventDrivenMultiPort(const MemConfig &cfg,
                                            const ModuleMapping &map,
-                                           MapPath path)
+                                           MapPath path,
+                                           CollapseMode collapse)
     : cfg_(cfg), map_(map), slicer_(map, path),
-      single_(cfg, map, path), retire_(cfg.modules()),
+      single_(cfg, map, path, collapse), retire_(cfg.modules()),
       retireBlocked_(cfg.modules(), 0)
 {
     cfva_assert(map.moduleBits() == cfg.m,

@@ -1,97 +1,6 @@
 #include "memsys/event_queue.h"
 
-#include "common/logging.h"
-
 namespace cfva {
-
-ModuleEventHeap::ModuleEventHeap(ModuleId modules)
-    : pos_(modules, kAbsent)
-{
-    heap_.reserve(modules);
-}
-
-const ModuleEvent &
-ModuleEventHeap::top() const
-{
-    cfva_assert(!heap_.empty(), "top() on an empty event heap");
-    return heap_.front();
-}
-
-void
-ModuleEventHeap::place(std::size_t i, const ModuleEvent &e)
-{
-    heap_[i] = e;
-    pos_[e.module] = static_cast<std::uint32_t>(i);
-}
-
-void
-ModuleEventHeap::siftUp(std::size_t i)
-{
-    const ModuleEvent e = heap_[i];
-    while (i > 0) {
-        const std::size_t parent = (i - 1) / 2;
-        if (!before(e, heap_[parent]))
-            break;
-        place(i, heap_[parent]);
-        i = parent;
-    }
-    place(i, e);
-}
-
-void
-ModuleEventHeap::siftDown(std::size_t i)
-{
-    const ModuleEvent e = heap_[i];
-    const std::size_t n = heap_.size();
-    for (;;) {
-        std::size_t child = 2 * i + 1;
-        if (child >= n)
-            break;
-        if (child + 1 < n && before(heap_[child + 1], heap_[child]))
-            ++child;
-        if (!before(heap_[child], e))
-            break;
-        place(i, heap_[child]);
-        i = child;
-    }
-    place(i, e);
-}
-
-ModuleEvent
-ModuleEventHeap::pop()
-{
-    cfva_assert(!heap_.empty(), "pop() on an empty event heap");
-    const ModuleEvent min = heap_.front();
-    pos_[min.module] = kAbsent;
-    const ModuleEvent last = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) {
-        heap_.front() = last;
-        pos_[last.module] = 0;
-        siftDown(0);
-    }
-    return min;
-}
-
-void
-ModuleEventHeap::push(ModuleId module, Cycle time)
-{
-    cfva_assert(module < pos_.size(), "event for module ", module,
-                " outside the heap's ", pos_.size(), " modules");
-    cfva_assert(!contains(module), "module ", module,
-                " already has a live event");
-    heap_.push_back({time, module});
-    pos_[module] = static_cast<std::uint32_t>(heap_.size() - 1);
-    siftUp(heap_.size() - 1);
-}
-
-void
-ModuleEventHeap::clear()
-{
-    for (const auto &e : heap_)
-        pos_[e.module] = kAbsent;
-    heap_.clear();
-}
 
 void
 ArrivalQueue::push(ModuleId module, Cycle time)

@@ -11,9 +11,10 @@ using detail::PortState;
 
 PerCycleMultiPort::PerCycleMultiPort(const MemConfig &cfg,
                                      const ModuleMapping &map,
-                                     MapPath path)
+                                     MapPath path,
+                                     CollapseMode collapse)
     : cfg_(cfg), map_(map), slicer_(map, path),
-      single_(cfg, map, path)
+      single_(cfg, map, path, collapse)
 {
     cfva_assert(map.moduleBits() == cfg.m,
                 "mapping has 2^", map.moduleBits(),

@@ -301,7 +301,8 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
                   const VectorAccessUnit &unit, Addr a1,
                   std::uint64_t baseStride, DeliveryArena *arena,
                   BackendCache *cache, AccessResult *loadOut,
-                  TierPolicy tier, MapPath path)
+                  TierPolicy tier, MapPath path,
+                  CollapseMode collapse)
 {
     AccessStats out;
     // Attribution only runs while the theory tier is active, so
@@ -313,7 +314,7 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
         AccessPlan p =
             planPortStream(grid, sc, unit, 0, a1, baseStride, arena);
         AccessResult r =
-            unit.execute(p, arena, cache, tier, tcp, path);
+            unit.execute(p, arena, cache, tier, tcp, path, collapse);
         out.latency = r.latency;
         out.stalls = r.stallCycles;
         out.conflictFree = r.conflictFree;
@@ -341,8 +342,8 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
             planPortStream(grid, sc, unit, p, a1, baseStride, arena)
                 .stream);
     }
-    MultiPortResult r =
-        unit.executePorts(streams, arena, cache, tier, tcp, path);
+    MultiPortResult r = unit.executePorts(streams, arena, cache,
+                                          tier, tcp, path, collapse);
     if (arena) {
         for (auto &s : streams)
             arena->releaseRequests(std::move(s));
@@ -431,7 +432,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                          const VectorAccessUnit &unit,
                          DeliveryArena *arena, BackendCache *cache,
                          WorkloadUnits *workloads, TierPolicy tier,
-                         MapPath path)
+                         MapPath path, CollapseMode collapse)
 {
     if (tier == TierPolicy::AuditBoth) {
         // Run the scenario under each tier and compare field for
@@ -441,13 +442,16 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
         // latency, stalls, chaining, retune charges — must match
         // exactly.  The simulated outcome is returned as ground
         // truth, wearing the theory run's attribution so audit rows
-        // still report the claim rate.
-        ScenarioOutcome simOut =
-            runScenario(grid, sc, unit, arena, cache, workloads,
-                        TierPolicy::SimulateAlways, path);
+        // still report the claim rate.  The sim arm also pins the
+        // collapse fast path Off so it is the pure stepped oracle;
+        // the theory arm keeps the requested mode — audit therefore
+        // cross-checks collapse + memo end to end as well.
+        ScenarioOutcome simOut = runScenario(
+            grid, sc, unit, arena, cache, workloads,
+            TierPolicy::SimulateAlways, path, CollapseMode::Off);
         ScenarioOutcome thOut =
             runScenario(grid, sc, unit, arena, cache, workloads,
-                        TierPolicy::TheoryFirst, path);
+                        TierPolicy::TheoryFirst, path, collapse);
         ScenarioOutcome cmp = thOut;
         cmp.theoryClaimed = 0;
         cmp.theoryFallback = 0;
@@ -489,7 +493,8 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
         out.minLatency = floor1;
         foldAccess(out, runWorkloadAccess(grid, sc, unit, sc.a1,
                                           sc.stride, arena, cache,
-                                          nullptr, tier, path));
+                                          nullptr, tier, path,
+                                          collapse));
         return out;
       }
 
@@ -503,7 +508,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                    runWorkloadAccess(grid, sc, unit, sc.a1,
                                      sc.stride, arena, cache,
                                      capture ? &load : nullptr,
-                                     tier, path));
+                                     tier, path, collapse));
         out.decoupledCycles = out.latency;
         out.chainedCycles = out.latency;
         applyExecuteStep(out, sc, wl, std::move(load), arena);
@@ -524,7 +529,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                            sc.a1 + Addr{tap} * sc.stride, sc.stride,
                            arena, cache,
                            capture ? &lastLoad : nullptr, tier,
-                           path));
+                           path, collapse));
         }
         const Cycle loadTotal = out.latency;
         out.decoupledCycles = loadTotal;
@@ -532,7 +537,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
         applyExecuteStep(out, sc, wl, std::move(lastLoad), arena);
         const AccessStats store = runWorkloadAccess(
             grid, sc, unit, sc.a1, sc.stride, arena, cache, nullptr,
-            tier, path);
+            tier, path, collapse);
         foldAccess(out, store);
         out.decoupledCycles += store.latency;
         out.chainedCycles += store.latency;
@@ -599,7 +604,7 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
                 foldAccess(out, runWorkloadAccess(
                                     grid, sc, *phaseUnit, sc.a1,
                                     phaseStride, arena, phaseCache,
-                                    nullptr, tier, path));
+                                    nullptr, tier, path, collapse));
             }
         }
         // The relayout charge is part of the program's memory time:
@@ -879,7 +884,8 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
                     mine.unitFor(grid, sc.mappingIndex,
                                  opts_.engine),
                     &mine.deliveries, &mine.backends,
-                    &mine.workloads, opts_.tier, opts_.mapPath));
+                    &mine.workloads, opts_.tier, opts_.mapPath,
+                    opts_.collapse));
                 const ScenarioOutcome &o = buf.back();
                 mine.theoryClaims += o.theoryClaimed;
                 mine.theoryFallbacks += o.theoryFallback;
@@ -915,6 +921,11 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
         run.arenaAcquires += arena.deliveries.acquires();
         run.arenaReuses += arena.deliveries.reuses();
         run.arenaPeakBytes += arena.deliveries.peakBytes();
+        const FastPathStats fp = arena.backends.fastPathStats();
+        run.collapseHits += fp.collapseHits;
+        run.collapsePrefixCycles += fp.collapsePrefixCycles;
+        run.memoHits += fp.memoHits;
+        run.memoMisses += fp.memoMisses;
     }
     if (stats)
         *stats = run;

@@ -307,6 +307,16 @@ struct SweepRunStats
     std::uint64_t arenaAcquires = 0;
     std::uint64_t arenaReuses = 0;
     std::size_t arenaPeakBytes = 0;
+
+    /** Periodic fast-path attribution summed over all workers
+     *  (memsys/steady_state.h): accesses answered by steady-state
+     *  collapse, the cycles those accesses still stepped, and
+     *  outcome-memo replay hits/misses.  All 0 under
+     *  CollapseMode::Off. */
+    std::uint64_t collapseHits = 0;
+    std::uint64_t collapsePrefixCycles = 0;
+    std::uint64_t memoHits = 0;
+    std::uint64_t memoMisses = 0;
 };
 
 /** Engine tuning knobs. */
@@ -366,6 +376,15 @@ struct SweepOptions
      * bit-slice speedup and to debug with the simple path.
      */
     MapPath mapPath = MapPath::BitSliced;
+
+    /**
+     * Whether the single-port engines may answer periodic streams
+     * via steady-state collapse + memo replay.  On (the default) is
+     * bit-identical to Off by contract — Off exists as the pure
+     * stepped oracle for audits and differential tests
+     * (cfva_sweep --collapse off).
+     */
+    CollapseMode collapse = CollapseMode::On;
 
     /** Panics on an impossible shard spec.  Any grain (including
      *  0 = adaptive) and any thread count are valid. */
@@ -442,7 +461,9 @@ class SweepEngine
                                        TierPolicy tier =
                                            TierPolicy::SimulateAlways,
                                        MapPath path =
-                                           MapPath::BitSliced);
+                                           MapPath::BitSliced,
+                                       CollapseMode collapse =
+                                           CollapseMode::On);
 
     const SweepOptions &options() const { return opts_; }
 

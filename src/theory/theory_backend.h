@@ -93,6 +93,15 @@ class TheoryBackend final : public MemoryBackend
     /** Cumulative claim/fallback counts over this instance. */
     const TierCounters &stats() const { return stats_; }
 
+    /** The fallback engine's collapse/memo counters — the theory
+     *  tier's conflicted residue is exactly what the periodic fast
+     *  path attacks, so attribution is forwarded untouched. */
+    FastPathStats
+    fastPathStats() const override
+    {
+        return fallback_->fastPathStats();
+    }
+
     /** The wrapped simulation engine (for diagnostics). */
     MemoryBackend &fallback() { return *fallback_; }
 

@@ -104,6 +104,13 @@ usage(std::ostream &os)
           "                     (64 elements per multiply) or the\n"
           "                     per-element walk; reports are bit-\n"
           "                     identical either way\n"
+          "  --collapse C       on | off (default on): collapse\n"
+          "                     single-port constant-stride streams\n"
+          "                     to one steady-state period plus a\n"
+          "                     closed-form extrapolation, with a\n"
+          "                     base-invariant outcome memo on top;\n"
+          "                     results are bit-identical either\n"
+          "                     way (off = pure stepped oracle)\n"
           "  --threads N        worker threads (0 = all cores;\n"
           "                     clamped to the hardware)\n"
           "  --grain N          jobs per work item (0 = adaptive,\n"
@@ -251,6 +258,17 @@ parseMapPath(const std::string &name)
                " (expected bitsliced|scalar)");
 }
 
+CollapseMode
+parseCollapse(const std::string &name)
+{
+    if (name == "on")
+        return CollapseMode::On;
+    if (name == "off")
+        return CollapseMode::Off;
+    cfva_fatal("unknown collapse mode: ", name,
+               " (expected on|off)");
+}
+
 TierPolicy
 parseTier(const std::string &name)
 {
@@ -333,6 +351,7 @@ struct Options
     std::vector<EngineKind> engines = {EngineKind::PerCycle};
     TierPolicy tier = TierPolicy::SimulateAlways;
     MapPath mapPath = MapPath::BitSliced;
+    CollapseMode collapse = CollapseMode::On;
     std::string csvPath;
     std::string jsonPath;
     bool summary = true;
@@ -407,6 +426,8 @@ parseArgs(int argc, char **argv)
             o.tier = parseTier(need(i, "--tier"));
         } else if (a == "--map-path") {
             o.mapPath = parseMapPath(need(i, "--map-path"));
+        } else if (a == "--collapse") {
+            o.collapse = parseCollapse(need(i, "--collapse"));
         } else if (a == "--threads") {
             o.threads = parseU32(need(i, "--threads"),
                                  "--threads");
@@ -556,6 +577,21 @@ printTierStats(std::ostream &info, TierPolicy tier,
     }
 }
 
+/** Prints the collapse/memo fast-path counters of a run; silent
+ *  when the fast path is disabled (every counter is 0 there). */
+void
+printFastPathStats(std::ostream &info, CollapseMode collapse,
+                   const sim::SweepRunStats &stats)
+{
+    if (collapse == CollapseMode::Off)
+        return;
+    info << "fast path: " << stats.collapseHits
+         << " steady-state collapses ("
+         << stats.collapsePrefixCycles
+         << " prefix cycles stepped), " << stats.memoHits
+         << " memo hits / " << stats.memoMisses << " misses\n";
+}
+
 double
 timedRun(const sim::SweepEngine &engine,
          const sim::ScenarioGrid &grid, sim::SweepReport &report,
@@ -572,6 +608,7 @@ struct BenchRun
 {
     EngineKind engine = EngineKind::PerCycle;
     TierPolicy tier = TierPolicy::SimulateAlways;
+    CollapseMode collapse = CollapseMode::On;
     std::uint64_t threads = 0;
     double seconds = 0.0;
     double scenariosPerSec = 0.0;
@@ -587,6 +624,7 @@ struct WorkloadBenchRun
 {
     std::string label;
     TierPolicy tier = TierPolicy::SimulateAlways;
+    CollapseMode collapse = CollapseMode::On;
     std::size_t jobs = 0;
     double seconds = 0.0;
     double scenariosPerSec = 0.0;
@@ -609,13 +647,15 @@ writeBenchJson(const std::string &path, const Options &o,
         << o.shard.count << "\",\n  \"grain\": " << o.grain
         << ",\n  \"tier\": \"" << to_string(o.tier)
         << "\",\n  \"map_path\": \"" << to_string(o.mapPath)
+        << "\",\n  \"collapse\": \"" << to_string(o.collapse)
         << "\",\n  \"reports_identical\": "
         << (identical ? "true" : "false") << ",\n  \"runs\": [";
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const BenchRun &r = runs[i];
         out << (i ? ",\n" : "\n") << "    {\"engine\": \""
             << to_string(r.engine) << "\", \"tier\": \""
-            << to_string(r.tier) << "\", \"threads\": "
+            << to_string(r.tier) << "\", \"collapse\": \""
+            << to_string(r.collapse) << "\", \"threads\": "
             << r.threads << ", \"seconds\": " << fixed(r.seconds, 6)
             << ", \"scenarios_per_s\": "
             << fixed(r.scenariosPerSec, 0) << ", \"speedup\": "
@@ -629,6 +669,11 @@ writeBenchJson(const std::string &path, const Options &o,
             << ", \"theory_fallback\": " << r.stats.theoryFallbacks
             << ", \"tier_audit_divergences\": "
             << r.stats.tierAuditDivergences
+            << ", \"collapse_hits\": " << r.stats.collapseHits
+            << ", \"collapse_prefix_cycles\": "
+            << r.stats.collapsePrefixCycles
+            << ", \"memo_hits\": " << r.stats.memoHits
+            << ", \"memo_misses\": " << r.stats.memoMisses
             << ", \"peak_pending_outcomes\": "
             << r.stats.peakPendingOutcomes
             << ", \"arena_acquires\": " << r.stats.arenaAcquires
@@ -641,6 +686,7 @@ writeBenchJson(const std::string &path, const Options &o,
         const WorkloadBenchRun &w = workloadRuns[i];
         out << (i ? ",\n" : "\n") << "    {\"workload\": \""
             << w.label << "\", \"tier\": \"" << to_string(w.tier)
+            << "\", \"collapse\": \"" << to_string(w.collapse)
             << "\", \"jobs\": " << w.jobs
             << ", \"seconds\": " << fixed(w.seconds, 6)
             << ", \"scenarios_per_s\": "
@@ -694,20 +740,40 @@ main(int argc, char **argv)
         info << "tier: " << to_string(o.tier) << "\n";
     if (o.mapPath != MapPath::BitSliced)
         info << "map path: " << to_string(o.mapPath) << "\n";
+    if (o.collapse != CollapseMode::On)
+        info << "collapse: " << to_string(o.collapse) << "\n";
 
     if (!o.benchThreads.empty()) {
-        TextTable t({"engine", "tier", "threads", "seconds",
-                     "scenarios/s", "speedup", "cache hits",
-                     "cache misses"});
+        TextTable t({"engine", "tier", "collapse", "threads",
+                     "seconds", "scenarios/s", "speedup",
+                     "cache hits", "cache misses"});
         // Under --tier theory the bench times the simulation
-        // baseline too, so BENCH_sweep.json records the analytic
-        // tier's sweep-time reduction next to what it replaced.
-        std::vector<TierPolicy> tiers;
-        if (o.tier == TierPolicy::TheoryFirst)
-            tiers = {TierPolicy::SimulateAlways,
-                     TierPolicy::TheoryFirst};
-        else
-            tiers = {o.tier};
+        // baseline too — with the collapse fast path off (the pure
+        // stepped oracle) and on — so BENCH_sweep.json records both
+        // the analytic tier's and the collapse engine's sweep-time
+        // reductions next to what they replaced.
+        struct Leg
+        {
+            TierPolicy tier;
+            CollapseMode collapse;
+        };
+        std::vector<Leg> legs;
+        if (o.tier == TierPolicy::TheoryFirst) {
+            if (o.collapse == CollapseMode::On)
+                legs = {{TierPolicy::SimulateAlways,
+                         CollapseMode::Off},
+                        {TierPolicy::SimulateAlways,
+                         CollapseMode::On},
+                        {TierPolicy::TheoryFirst,
+                         CollapseMode::On}};
+            else
+                legs = {{TierPolicy::SimulateAlways,
+                         CollapseMode::Off},
+                        {TierPolicy::TheoryFirst,
+                         CollapseMode::Off}};
+        } else {
+            legs = {{o.tier, o.collapse}};
+        }
         double base = 0.0;
         sim::SweepReport first;
         bool allIdentical = true;
@@ -723,6 +789,7 @@ main(int argc, char **argv)
             warm.engine = o.engines.front();
             warm.tier = o.tier;
             warm.mapPath = o.mapPath;
+            warm.collapse = o.collapse;
             sim::SweepReport scratch;
             timedRun(sim::SweepEngine(warm), grid, scratch);
         }
@@ -758,15 +825,16 @@ main(int argc, char **argv)
         sim::SweepReport firstStripped;
         bool haveBase = false;
         for (EngineKind engine : o.engines) {
-            for (TierPolicy tier : tiers) {
+            for (const Leg &leg : legs) {
                 for (std::uint64_t threads : benchThreads) {
                     sim::SweepOptions opts;
                     opts.threads = static_cast<unsigned>(threads);
                     opts.grain = o.grain;
                     opts.shard = o.shard;
                     opts.engine = engine;
-                    opts.tier = tier;
+                    opts.tier = leg.tier;
                     opts.mapPath = o.mapPath;
+                    opts.collapse = leg.collapse;
                     sim::SweepReport report;
                     sim::SweepRunStats stats;
                     const double secs = timedRun(
@@ -783,7 +851,8 @@ main(int argc, char **argv)
                     }
                     BenchRun row;
                     row.engine = engine;
-                    row.tier = tier;
+                    row.tier = leg.tier;
+                    row.collapse = leg.collapse;
                     row.threads = threads;
                     row.seconds = secs;
                     row.scenariosPerSec =
@@ -791,8 +860,9 @@ main(int argc, char **argv)
                     row.speedup = base / secs;
                     row.stats = stats;
                     runs.push_back(row);
-                    t.row(to_string(engine), to_string(tier),
-                          threads, fixed(secs, 3),
+                    t.row(to_string(engine), to_string(leg.tier),
+                          to_string(leg.collapse), threads,
+                          fixed(secs, 3),
                           fixed(row.scenariosPerSec, 0),
                           fixed(row.speedup, 2),
                           stats.backendCacheHits,
@@ -813,18 +883,44 @@ main(int argc, char **argv)
         // the narrowed grid would be the grid already timed.
         std::vector<WorkloadBenchRun> workloadRuns;
         {
-            TextTable wt({"workload", "tier", "jobs", "seconds",
-                          "scenarios/s"});
-            for (const auto &wl : grid.workloads) {
-                for (TierPolicy tier : tiers) {
+            TextTable wt({"workload", "tier", "collapse", "jobs",
+                          "seconds", "scenarios/s"});
+            // The committed BENCH artifact should track every
+            // workload program even when the grid itself runs only
+            // the default single-access job: widen the bench-only
+            // workload list to all four kinds in that case (the
+            // extra kinds inherit the grid workload's tuning).
+            std::vector<sim::Workload> benchWorkloads(
+                grid.workloads.begin(), grid.workloads.end());
+            if (grid.workloads.size() == 1
+                && grid.workloads.front().kind
+                       == sim::WorkloadKind::Single) {
+                for (sim::WorkloadKind kind :
+                     {sim::WorkloadKind::Chain,
+                      sim::WorkloadKind::Retune,
+                      sim::WorkloadKind::Stencil}) {
+                    sim::Workload wl = grid.workloads.front();
+                    wl.kind = kind;
+                    benchWorkloads.push_back(wl);
+                }
+            }
+            for (const auto &wl : benchWorkloads) {
+                // Reuse is only sound when the narrowed grid IS
+                // the grid already timed by the scaling rows.
+                const bool sameAsGrid =
+                    grid.workloads.size() == 1
+                    && wl.kind == grid.workloads.front().kind;
+                for (const Leg &leg : legs) {
                     WorkloadBenchRun row;
                     row.label = wl.label();
-                    row.tier = tier;
+                    row.tier = leg.tier;
+                    row.collapse = leg.collapse;
                     const BenchRun *reuse = nullptr;
-                    if (grid.workloads.size() == 1) {
+                    if (sameAsGrid) {
                         for (const auto &r : runs) {
                             if (r.engine == o.engines.front()
-                                && r.tier == tier
+                                && r.tier == leg.tier
+                                && r.collapse == leg.collapse
                                 && r.threads
                                        == benchThreads.front()) {
                                 reuse = &r;
@@ -845,8 +941,9 @@ main(int argc, char **argv)
                         opts.grain = o.grain;
                         opts.shard = o.shard;
                         opts.engine = o.engines.front();
-                        opts.tier = tier;
+                        opts.tier = leg.tier;
                         opts.mapPath = o.mapPath;
+                        opts.collapse = leg.collapse;
                         sim::SweepReport r;
                         row.seconds =
                             timedRun(sim::SweepEngine(opts), sub, r);
@@ -856,7 +953,8 @@ main(int argc, char **argv)
                             / row.seconds;
                     }
                     workloadRuns.push_back(row);
-                    wt.row(row.label, to_string(row.tier), row.jobs,
+                    wt.row(row.label, to_string(row.tier),
+                           to_string(row.collapse), row.jobs,
                            fixed(row.seconds, 3),
                            fixed(row.scenariosPerSec, 0));
                 }
@@ -895,16 +993,18 @@ main(int argc, char **argv)
                  << s.arenaAcquires
                  << " buffer acquires served from pools, peak "
                  << s.arenaPeakBytes << " bytes retained\n";
-            // The first row with the requested tier carries the
-            // attribution (under --tier theory the leading rows
-            // are the simulation baseline and count nothing).
+            // The first row with the requested tier and collapse
+            // mode carries the attribution (under --tier theory
+            // the leading rows are the oracle baselines and count
+            // nothing, or only the sim-tier share).
             const BenchRun *tierRow = &runs.front();
             for (const auto &r : runs) {
-                if (r.tier == o.tier) {
+                if (r.tier == o.tier && r.collapse == o.collapse) {
                     tierRow = &r;
                     break;
                 }
             }
+            printFastPathStats(info, o.collapse, tierRow->stats);
             printTierStats(info, o.tier, tierRow->stats);
         }
         std::uint64_t auditDivergences = 0;
@@ -935,6 +1035,7 @@ main(int argc, char **argv)
         opts.engine = o.engines.front();
         opts.tier = o.tier;
         opts.mapPath = o.mapPath;
+        opts.collapse = o.collapse;
 
         std::ofstream csvFile, jsonFile;
         std::optional<sim::CsvStreamSink> csvSink;
@@ -978,6 +1079,7 @@ main(int argc, char **argv)
             info << "backend cache: " << stats.backendCacheHits
                  << " hits / " << stats.backendCacheMisses
                  << " misses\n";
+            printFastPathStats(info, o.collapse, stats);
             printTierStats(info, o.tier, stats);
         }
         return stats.tierAuditDivergences == 0 ? 0 : 1;
@@ -999,6 +1101,7 @@ main(int argc, char **argv)
         opts.engine = o.engines[e];
         opts.tier = o.tier;
         opts.mapPath = o.mapPath;
+        opts.collapse = o.collapse;
         sim::SweepReport r;
         sim::SweepRunStats stats;
         const double secs =
@@ -1035,6 +1138,7 @@ main(int argc, char **argv)
         info << "backend cache: " << firstStats.backendCacheHits
              << " hits / " << firstStats.backendCacheMisses
              << " misses\n";
+        printFastPathStats(info, o.collapse, firstStats);
         printTierStats(info, o.tier, firstStats);
     }
     if (crossChecked) {
