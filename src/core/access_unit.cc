@@ -199,7 +199,8 @@ VectorAccessUnit::reorderKey(unsigned x) const
 AccessPlan
 VectorAccessUnit::planExact(Addr a1, const Stride &s,
                             std::uint64_t length,
-                            std::vector<Request> seed) const
+                            std::vector<Request> seed,
+                            bool explain) const
 {
     AccessPlan plan;
     plan.a1 = a1;
@@ -207,15 +208,18 @@ VectorAccessUnit::planExact(Addr a1, const Stride &s,
     plan.length = length;
 
     const unsigned x = s.family();
-    std::ostringstream why;
 
     if (inOrderConflictFree(x)) {
         plan.policy = AccessPolicy::InOrder;
         plan.expectConflictFree = true;
         plan.stream = canonicalOrder(a1, s, length, std::move(seed));
-        why << "family x=" << x << " is conflict free in order on "
-            << mapping_->name();
-        plan.rationale = why.str();
+        if (explain) {
+            std::ostringstream why;
+            why << "family x=" << x
+                << " is conflict free in order on "
+                << mapping_->name();
+            plan.rationale = why.str();
+        }
         return plan;
     }
 
@@ -226,34 +230,41 @@ VectorAccessUnit::planExact(Addr a1, const Stride &s,
         plan.expectConflictFree = true;
         plan.stream = conflictFreeOrderByKey(a1, sub, reorderKey(x),
                                              std::move(seed));
-        why << "family x=" << x << " in window via w=" << *w
-            << ": Sec. " << (cfg_.kind == MemoryKind::Sectioned
-                             ? "4.2" : "3.2")
-            << " out-of-order issue";
-        plan.rationale = why.str();
+        if (explain) {
+            std::ostringstream why;
+            why << "family x=" << x << " in window via w=" << *w
+                << ": Sec. " << (cfg_.kind == MemoryKind::Sectioned
+                                 ? "4.2" : "3.2")
+                << " out-of-order issue";
+            plan.rationale = why.str();
+        }
         return plan;
     }
 
     plan.policy = AccessPolicy::InOrder;
     plan.expectConflictFree = false;
     plan.stream = canonicalOrder(a1, s, length, std::move(seed));
-    why << "family x=" << x << " outside every window (vector not "
-        << "T-matched); canonical order";
-    plan.rationale = why.str();
+    if (explain) {
+        std::ostringstream why;
+        why << "family x=" << x << " outside every window (vector "
+            << "not T-matched); canonical order";
+        plan.rationale = why.str();
+    }
     return plan;
 }
 
 AccessPlan
 VectorAccessUnit::plan(Addr a1, const Stride &s,
                        std::uint64_t length,
-                       std::vector<Request> seed) const
+                       std::vector<Request> seed,
+                       bool explain) const
 {
     cfva_assert(length > 0, "empty access");
     const std::uint64_t reg_len = cfg_.registerLength();
     const unsigned x = s.family();
 
     if (length == reg_len)
-        return planExact(a1, s, length, std::move(seed));
+        return planExact(a1, s, length, std::move(seed), explain);
 
     if (length > reg_len && length % reg_len == 0) {
         // Sec. 5C case ii: multiple-size registers; apply the
@@ -271,7 +282,8 @@ VectorAccessUnit::plan(Addr a1, const Stride &s,
         const std::uint64_t chunks = length / reg_len;
         for (std::uint64_t c = 0; c < chunks; ++c) {
             const Addr chunk_a1 = a1 + s.value() * (c * reg_len);
-            AccessPlan sub = planExact(chunk_a1, s, reg_len);
+            AccessPlan sub =
+                planExact(chunk_a1, s, reg_len, {}, explain);
             for (auto &req : sub.stream)
                 req.element += c * reg_len;
             plan.stream.insert(plan.stream.end(), sub.stream.begin(),
@@ -287,10 +299,12 @@ VectorAccessUnit::plan(Addr a1, const Stride &s,
             && !inOrderConflictFree(x)) {
             plan.expectConflictFree = false;
         }
-        std::ostringstream why;
-        why << "V = " << chunks << " * L: per-portion scheme "
-            << "(Sec. 5C case ii)";
-        plan.rationale = why.str();
+        if (explain) {
+            std::ostringstream why;
+            why << "V = " << chunks << " * L: per-portion scheme "
+                << "(Sec. 5C case ii)";
+            plan.rationale = why.str();
+        }
         return plan;
     }
 
@@ -302,8 +316,10 @@ VectorAccessUnit::plan(Addr a1, const Stride &s,
         plan.length = length;
         plan.expectConflictFree = true;
         plan.stream = canonicalOrder(a1, s, length, std::move(seed));
-        plan.rationale = "in-order family; any length is conflict "
-                         "free";
+        if (explain) {
+            plan.rationale = "in-order family; any length is "
+                             "conflict free";
+        }
         return plan;
     }
 
@@ -320,8 +336,10 @@ VectorAccessUnit::plan(Addr a1, const Stride &s,
         plan.policy = AccessPolicy::InOrder;
         plan.expectConflictFree = false;
         plan.stream = canonicalOrder(a1, s, length, std::move(seed));
-        plan.rationale = "family outside every window; canonical "
-                         "order";
+        if (explain) {
+            plan.rationale = "family outside every window; "
+                             "canonical order";
+        }
         return plan;
     }
 
@@ -330,23 +348,26 @@ VectorAccessUnit::plan(Addr a1, const Stride &s,
                                    std::move(seed));
     plan.expectConflictFree =
         split.hasReorderedPart() && split.ordered == 0;
-    std::ostringstream why;
-    why << "short vector: " << split.reordered
-        << " elements out of order + " << split.ordered
-        << " in order (Sec. 5C)";
-    plan.rationale = why.str();
+    if (explain) {
+        std::ostringstream why;
+        why << "short vector: " << split.reordered
+            << " elements out of order + " << split.ordered
+            << " in order (Sec. 5C)";
+        plan.rationale = why.str();
+    }
     return plan;
 }
 
 AccessPlan
 VectorAccessUnit::plan(Addr a1, std::int64_t stride,
                        std::uint64_t length,
-                       std::vector<Request> seed) const
+                       std::vector<Request> seed,
+                       bool explain) const
 {
     cfva_assert(stride != 0, "stride must be nonzero");
     if (stride > 0)
         return plan(a1, Stride(static_cast<std::uint64_t>(stride)),
-                    length, std::move(seed));
+                    length, std::move(seed), explain);
 
     const std::uint64_t mag =
         static_cast<std::uint64_t>(-stride);
@@ -359,11 +380,12 @@ VectorAccessUnit::plan(Addr a1, std::int64_t stride,
     // element length-1-i of the ascending one.
     const Addr low_a1 = a1 - (length - 1) * mag;
     AccessPlan p = plan(low_a1, Stride(mag), length,
-                        std::move(seed));
+                        std::move(seed), explain);
     for (auto &req : p.stream)
         req.element = length - 1 - req.element;
     p.a1 = a1;
-    p.rationale += " (descending: mirrored from ascending twin)";
+    if (explain)
+        p.rationale += " (descending: mirrored from ascending twin)";
     return p;
 }
 

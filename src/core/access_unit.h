@@ -54,7 +54,10 @@ struct AccessPlan
     /** True iff the plan should achieve minimum latency L+T+1. */
     bool expectConflictFree = false;
 
-    /** Human-readable explanation of the choice (for examples). */
+    /** Human-readable explanation of the choice (for examples);
+     *  empty when the caller opted out (plan(..., explain=false) —
+     *  the sweep hot path does, the strings cost more than the
+     *  ordering decision itself). */
     std::string rationale;
 };
 
@@ -82,9 +85,11 @@ class VectorAccessUnit
      * donates its capacity to the plan's stream vector — pass a
      * recycled buffer (DeliveryArena::acquireRequests) to keep
      * batch planning allocation free; contents are discarded.
+     * @p explain false skips building the rationale string.
      */
     AccessPlan plan(Addr a1, const Stride &s, std::uint64_t length,
-                    std::vector<Request> seed = {}) const;
+                    std::vector<Request> seed = {},
+                    bool explain = true) const;
 
     /**
      * Signed-stride overload.  The paper's analysis is symmetric in
@@ -97,7 +102,8 @@ class VectorAccessUnit
      */
     AccessPlan plan(Addr a1, std::int64_t stride,
                     std::uint64_t length,
-                    std::vector<Request> seed = {}) const;
+                    std::vector<Request> seed = {},
+                    bool explain = true) const;
 
     /**
      * Runs a plan through the memory backend selected by
@@ -162,7 +168,8 @@ class VectorAccessUnit
     /** Plans one full-register (or period-multiple) access. */
     AccessPlan planExact(Addr a1, const Stride &s,
                          std::uint64_t length,
-                         std::vector<Request> seed = {}) const;
+                         std::vector<Request> seed = {},
+                         bool explain = true) const;
 
     /** The reorder key for conflict-free issue at family @p x. */
     std::function<ModuleId(Addr)> reorderKey(unsigned x) const;

@@ -1,0 +1,215 @@
+#include "sim/result_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cfva::sim {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** The 14 measured outcome fields, in entry order. */
+constexpr std::size_t kPayloadWords = 14;
+
+void
+packOutcome(const ScenarioOutcome &o,
+            std::uint64_t payload[kPayloadWords])
+{
+    payload[0] = o.latency;
+    payload[1] = o.minLatency;
+    payload[2] = o.stallCycles;
+    payload[3] = o.conflictFree ? 1 : 0;
+    payload[4] = o.inWindow ? 1 : 0;
+    payload[5] = o.accesses;
+    payload[6] = o.decoupledCycles;
+    payload[7] = o.chainedCycles;
+    payload[8] = o.chainable ? 1 : 0;
+    payload[9] = o.retunes;
+    payload[10] = o.retuneCycles;
+    payload[11] = o.theoryClaimed;
+    payload[12] = o.theoryFallback;
+    payload[13] = o.tierAuditDiverged ? 1 : 0;
+}
+
+void
+unpackOutcome(const std::uint64_t payload[kPayloadWords],
+              ScenarioOutcome &o)
+{
+    o.latency = payload[0];
+    o.minLatency = payload[1];
+    o.stallCycles = payload[2];
+    o.conflictFree = payload[3] != 0;
+    o.inWindow = payload[4] != 0;
+    o.accesses = payload[5];
+    o.decoupledCycles = payload[6];
+    o.chainedCycles = payload[7];
+    o.chainable = payload[8] != 0;
+    o.retunes = payload[9];
+    o.retuneCycles = payload[10];
+    o.theoryClaimed = payload[11];
+    o.theoryFallback = payload[12];
+    o.tierAuditDiverged = payload[13] != 0;
+}
+
+template <class T>
+void
+appendRaw(std::vector<unsigned char> &buf, const T &v)
+{
+    const auto *p = reinterpret_cast<const unsigned char *>(&v);
+    buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <class T>
+bool
+readRaw(const std::vector<unsigned char> &buf, std::size_t &off,
+        T &out)
+{
+    if (off + sizeof(T) > buf.size())
+        return false;
+    std::memcpy(&out, buf.data() + off, sizeof(T));
+    off += sizeof(T);
+    return true;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    cfva_assert(!dir_.empty(), "result-cache directory is empty");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        cfva_fatal("cannot create result-cache directory ", dir_,
+                   ec ? (": " + ec.message()) : std::string{});
+}
+
+std::string
+ResultCache::entryPath(const CanonicalKey &key) const
+{
+    return dir_ + "/" + key.digest() + ".cfvr";
+}
+
+bool
+ResultCache::lookup(const CanonicalKey &key, ScenarioOutcome &out)
+{
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in) {
+        ++stats_.misses;
+        return false;
+    }
+    std::vector<unsigned char> buf(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    // Decode defensively: any truncation or field mismatch below is
+    // "corrupt" (and a miss); only a clean entry whose embedded key
+    // words differ is a plain collision miss.
+    auto corrupt = [&](const char *why) {
+        cfva_warn("result cache: dropping corrupt entry ",
+                  entryPath(key), " (", why, ")");
+        ++stats_.corrupt;
+        ++stats_.misses;
+        return false;
+    };
+
+    std::size_t off = 0;
+    std::uint32_t magic = 0, version = 0;
+    std::uint64_t hi = 0, lo = 0, wordCount = 0;
+    if (!readRaw(buf, off, magic) || magic != kMagic)
+        return corrupt("bad magic");
+    if (!readRaw(buf, off, version) || version != kVersion)
+        return corrupt("unsupported version");
+    if (!readRaw(buf, off, hi) || !readRaw(buf, off, lo)
+        || !readRaw(buf, off, wordCount))
+        return corrupt("truncated header");
+    const std::size_t expect =
+        off + wordCount * sizeof(std::uint32_t)
+        + kPayloadWords * sizeof(std::uint64_t)
+        + sizeof(std::uint64_t);
+    if (wordCount > (std::size_t{1} << 32) || buf.size() != expect)
+        return corrupt("truncated or oversized body");
+    const std::uint64_t want =
+        fnv1a(buf.data(), buf.size() - sizeof(std::uint64_t));
+    std::uint64_t sum = 0;
+    std::memcpy(&sum, buf.data() + buf.size() - sizeof(sum),
+                sizeof(sum));
+    if (sum != want)
+        return corrupt("checksum mismatch");
+
+    // Verified entry; now compare the embedded key so a digest
+    // collision degrades to a miss instead of a wrong replay.
+    if (hi != key.hi || lo != key.lo
+        || wordCount != key.words.size()
+        || std::memcmp(buf.data() + off, key.words.data(),
+                       wordCount * sizeof(std::uint32_t))
+               != 0) {
+        ++stats_.misses;
+        return false;
+    }
+    off += wordCount * sizeof(std::uint32_t);
+
+    std::uint64_t payload[kPayloadWords];
+    std::memcpy(payload, buf.data() + off, sizeof(payload));
+    unpackOutcome(payload, out);
+    ++stats_.hits;
+    return true;
+}
+
+void
+ResultCache::store(const CanonicalKey &key,
+                   const ScenarioOutcome &outcome)
+{
+    std::vector<unsigned char> buf;
+    buf.reserve(40 + key.words.size() * sizeof(std::uint32_t)
+                + kPayloadWords * sizeof(std::uint64_t) + 8);
+    appendRaw(buf, kMagic);
+    appendRaw(buf, kVersion);
+    appendRaw(buf, key.hi);
+    appendRaw(buf, key.lo);
+    appendRaw(buf, static_cast<std::uint64_t>(key.words.size()));
+    for (std::uint32_t w : key.words)
+        appendRaw(buf, w);
+    std::uint64_t payload[kPayloadWords];
+    packOutcome(outcome, payload);
+    for (std::uint64_t w : payload)
+        appendRaw(buf, w);
+    appendRaw(buf, fnv1a(buf.data(), buf.size()));
+
+    // Temp + rename: a killed run leaves only a temp file behind,
+    // never a short entry under the final name.
+    const std::string tmp =
+        dir_ + "/.tmp." + std::to_string(::getpid()) + "."
+        + std::to_string(seq_++);
+    auto fail = [&](const char *what) {
+        cfva_warn("result cache: ", what, " failed for ",
+                  entryPath(key), " (continuing uncached)");
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        ++stats_.storeFailures;
+    };
+    {
+        std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+        if (!outf)
+            return fail("open");
+        outf.write(reinterpret_cast<const char *>(buf.data()),
+                   static_cast<std::streamsize>(buf.size()));
+        outf.flush();
+        if (!outf)
+            return fail("write");
+    }
+    std::error_code ec;
+    fs::rename(tmp, entryPath(key), ec);
+    if (ec)
+        return fail("rename");
+    ++stats_.stores;
+}
+
+} // namespace cfva::sim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Persistent cross-run result cache: CanonicalKey -> serialized
+ * ScenarioOutcome, one small versioned file per equivalence class.
+ *
+ * This is the first concrete piece of the ROADMAP's sweep-service
+ * story: a repeat or overlapping sweep pointed at the same
+ * --cache-dir answers every warm class in O(1) instead of
+ * simulating it.  The store is deliberately conservative:
+ *
+ *  - every entry embeds the FULL canonical word encoding and is
+ *    re-verified against the probing key on read — a digest
+ *    collision degrades to a miss, never to a wrong answer;
+ *  - entries carry a magic, a format version, and a trailing FNV
+ *    checksum; a truncated, corrupt, or foreign file counts as
+ *    corrupt and falls back to simulation (and is rewritten by the
+ *    next store);
+ *  - writes go to a temp file first and rename into place, so a
+ *    killed run never leaves a half-written entry under the final
+ *    name, and concurrent shard processes racing on one class both
+ *    land a complete entry (last rename wins, contents identical);
+ *  - store failures warn and count, but never fail the sweep — the
+ *    cache is an accelerator, not a dependency.
+ *
+ * Not thread-safe: the sweep engine probes it during the sequential
+ * classing pass and stores from the serialized flush path, exactly
+ * like its sinks.
+ */
+
+#ifndef CFVA_SIM_RESULT_CACHE_H
+#define CFVA_SIM_RESULT_CACHE_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/canonical.h"
+#include "sim/sweep_engine.h"
+
+namespace cfva::sim {
+
+/** On-disk outcome store under one directory. */
+class ResultCache
+{
+  public:
+    /** Entry-format version; bump on any layout change (old
+     *  entries then read as corrupt and re-simulate). */
+    static constexpr std::uint32_t kVersion = 1;
+
+    /** Entry magic: "CFVR". */
+    static constexpr std::uint32_t kMagic = 0x52564643u;
+
+    /** Observability counters of one cache's lifetime. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;   //!< absent or key-mismatched
+        std::uint64_t corrupt = 0;  //!< failed magic/version/checksum
+        std::uint64_t stores = 0;
+        std::uint64_t storeFailures = 0;
+    };
+
+    /** Opens (creating if needed) the store under @p dir; fatal
+     *  when the directory cannot be created. */
+    explicit ResultCache(std::string dir);
+
+    /**
+     * Looks @p key up.  On a hit, overwrites the MEASURED fields of
+     * @p out (latency through tierAuditDiverged) and returns true;
+     * identity fields are untouched — the caller rewrites them per
+     * member via SweepEngine::replayOutcome.  Absent entries count
+     * as misses; undecodable ones as corrupt (also a miss for the
+     * caller); entries whose embedded key words differ from
+     * @p key's count as misses (digest collision, not corruption).
+     */
+    bool lookup(const CanonicalKey &key, ScenarioOutcome &out);
+
+    /** Persists @p outcome under @p key (atomic temp + rename).
+     *  Best effort: failures warn and count, never raise. */
+    void store(const CanonicalKey &key,
+               const ScenarioOutcome &outcome);
+
+    const Stats &stats() const { return stats_; }
+
+    const std::string &dir() const { return dir_; }
+
+    /** The entry path of @p key (exposed for tests that corrupt or
+     *  truncate entries on purpose). */
+    std::string entryPath(const CanonicalKey &key) const;
+
+  private:
+    std::string dir_;
+    Stats stats_;
+    std::uint64_t seq_ = 0; //!< temp-file uniquifier
+};
+
+} // namespace cfva::sim
+
+#endif // CFVA_SIM_RESULT_CACHE_H

@@ -29,6 +29,7 @@
 #include "common/bits.h"
 #include "common/table.h"
 #include "core/access_unit.h"
+#include "sim/canonical.h"
 #include "sim/scenario.h"
 
 namespace cfva::sim {
@@ -317,6 +318,28 @@ struct SweepRunStats
     std::uint64_t collapsePrefixCycles = 0;
     std::uint64_t memoHits = 0;
     std::uint64_t memoMisses = 0;
+
+    /** Scenario-dedup attribution (sim/canonical.h): equivalence
+     *  classes this run's slice partitioned into, and outcomes
+     *  delivered by replaying a class result (representative
+     *  executions are jobs - dedupReplays).  classes = 0 under
+     *  DedupMode::Off; replays = 0 under Off and Audit (audit
+     *  executes every member). */
+    std::uint64_t dedupClasses = 0;
+    std::uint64_t dedupReplays = 0;
+
+    /** Members whose executed outcome differed from the class
+     *  replay under DedupMode::Audit (cfva_sweep --dedup audit
+     *  exits nonzero when this is nonzero). */
+    std::uint64_t dedupAuditDivergences = 0;
+
+    /** Result-cache attribution (sim/result_cache.h): classes
+     *  answered from --cache-dir, classes that missed, and entries
+     *  dropped as corrupt (each corrupt entry also counts as a
+     *  miss).  All 0 without a cache directory. */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheCorrupt = 0;
 };
 
 /** Engine tuning knobs. */
@@ -385,6 +408,28 @@ struct SweepOptions
      * (cfva_sweep --collapse off).
      */
     CollapseMode collapse = CollapseMode::On;
+
+    /**
+     * Whether the run may group its jobs into canonical equivalence
+     * classes (sim/canonical.h), execute one representative per
+     * class, and replay its outcome to the other members.  On (the
+     * default) is byte-identical to Off by construction — replays
+     * flow through the same ordered flush and sinks with only the
+     * identity columns rewritten; Audit executes every member too
+     * and counts divergences from the replay
+     * (SweepRunStats::dedupAuditDivergences).
+     */
+    DedupMode dedup = DedupMode::On;
+
+    /**
+     * Directory of the persistent cross-run result cache
+     * (sim/result_cache.h).  Empty (the default) disables it.  Only
+     * consulted under DedupMode::On: each class is looked up before
+     * execution and freshly executed representatives are stored
+     * back, so a repeat or overlapping sweep answers warm classes
+     * without simulating.
+     */
+    std::string cacheDir;
 
     /** Panics on an impossible shard spec.  Any grain (including
      *  0 = adaptive) and any thread count are valid. */
@@ -464,6 +509,18 @@ class SweepEngine
                                            MapPath::BitSliced,
                                        CollapseMode collapse =
                                            CollapseMode::On);
+
+    /**
+     * Rewrites the identity columns of a class representative's
+     * outcome (@p rep) for another member of the same canonical
+     * class: job index, mapping/port-mix/workload indices, stride,
+     * family, length, start address, and port count come from
+     * @p member; every measured field is copied unchanged — which is
+     * exactly what makes a dedup-on report byte-identical to
+     * dedup-off when the members' keys match.
+     */
+    static ScenarioOutcome replayOutcome(const ScenarioOutcome &rep,
+                                         const Scenario &member);
 
     const SweepOptions &options() const { return opts_; }
 

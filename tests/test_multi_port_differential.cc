@@ -266,14 +266,23 @@ TEST(MultiPortDifferential, RandomizedGridOver1000Scenarios)
     ASSERT_GE(grid.jobCount(), 1000u)
         << "property budget: the grid must cover >= 1000 scenarios";
 
+    // Dedup audit executes every member (full differential
+    // coverage, nothing replayed) and cross-checks each against
+    // the canonical-class replay on the side.
     sim::SweepOptions per_cycle;
     per_cycle.engine = EngineKind::PerCycle;
+    per_cycle.dedup = sim::DedupMode::Audit;
     sim::SweepOptions event;
     event.engine = EngineKind::EventDriven;
+    event.dedup = sim::DedupMode::Audit;
 
+    sim::SweepRunStats oracleStats, testedStats;
     const sim::SweepReport oracle =
-        sim::SweepEngine(per_cycle).run(grid);
-    const sim::SweepReport tested = sim::SweepEngine(event).run(grid);
+        sim::SweepEngine(per_cycle).run(grid, &oracleStats);
+    const sim::SweepReport tested =
+        sim::SweepEngine(event).run(grid, &testedStats);
+    EXPECT_EQ(oracleStats.dedupAuditDivergences, 0u);
+    EXPECT_EQ(testedStats.dedupAuditDivergences, 0u);
 
     ASSERT_EQ(oracle.jobs(), grid.jobCount());
     ASSERT_EQ(tested.jobs(), oracle.jobs());

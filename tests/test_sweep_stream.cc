@@ -290,6 +290,9 @@ TEST(SweepStream, RunStatsCountCacheTraffic)
     const ScenarioGrid grid = pipelineGrid();
     SweepOptions opts;
     opts.threads = 2;
+    // Dedup executes one representative per class, so the
+    // one-lookup-per-scenario accounting below needs it off.
+    opts.dedup = DedupMode::Off;
     SweepRunStats stats;
     const SweepReport report = SweepEngine(opts).run(grid, &stats);
     EXPECT_EQ(stats.jobs, report.jobs());
@@ -494,6 +497,35 @@ TEST(SweepStream, MergeBenchToleratesExtendedWorkloadRows)
               std::string::npos);
     EXPECT_LT(merged.find("\"threads\": 2"),
               merged.find("\"percycle\""));
+}
+
+TEST(SweepStream, MergeBenchSumsDedupAndCacheTotals)
+{
+    // The appended "totals" object sums the dedup/result-cache
+    // counters across every runs row of every input; rows that
+    // predate the fields contribute zero.  "backend_cache_hits"
+    // must NOT leak into the "cache_hits" total.
+    std::istringstream a(
+        "{\n  \"grid_jobs\": 8,\n  \"runs\": [\n    "
+        "{\"engine\": \"percycle\", \"backend_cache_hits\": 999, "
+        "\"dedup_classes\": 10, \"dedup_replays\": 6, "
+        "\"cache_hits\": 3, \"cache_misses\": 7, "
+        "\"cache_corrupt\": 1}\n  ]\n}\n");
+    std::istringstream b(
+        "{\n  \"grid_jobs\": 8,\n  \"runs\": [\n    "
+        "{\"engine\": \"percycle\", \"dedup_classes\": 20, "
+        "\"dedup_replays\": 4, \"cache_hits\": 2, "
+        "\"cache_misses\": 1, \"cache_corrupt\": 0},\n    "
+        "{\"engine\": \"event\", \"threads\": 1}\n  ]\n}\n");
+    std::vector<std::istream *> in{&a, &b};
+    std::ostringstream out;
+    mergeBench(out, in);
+    EXPECT_NE(out.str().find(
+                  "\"totals\": {\"dedup_classes\": 30, "
+                  "\"dedup_replays\": 10, \"cache_hits\": 5, "
+                  "\"cache_misses\": 8, \"cache_corrupt\": 1}"),
+              std::string::npos)
+        << out.str();
 }
 
 TEST(SweepStream, MergeBenchRejectsNonBenchInput)

@@ -95,13 +95,22 @@ differentialGrid()
 TEST(WorkloadDifferential, EnginesBitIdenticalOnRandomizedGrid)
 {
     const ScenarioGrid grid = differentialGrid();
+    // Dedup audit executes every member (full differential
+    // coverage, nothing replayed) and cross-checks each against
+    // the canonical-class replay on the side.
     SweepOptions per_cycle;
     per_cycle.engine = EngineKind::PerCycle;
+    per_cycle.dedup = DedupMode::Audit;
     SweepOptions event;
     event.engine = EngineKind::EventDriven;
+    event.dedup = DedupMode::Audit;
 
-    const SweepReport oracle = SweepEngine(per_cycle).run(grid);
-    const SweepReport fast = SweepEngine(event).run(grid);
+    SweepRunStats oracleStats, fastStats;
+    const SweepReport oracle =
+        SweepEngine(per_cycle).run(grid, &oracleStats);
+    const SweepReport fast = SweepEngine(event).run(grid, &fastStats);
+    EXPECT_EQ(oracleStats.dedupAuditDivergences, 0u);
+    EXPECT_EQ(fastStats.dedupAuditDivergences, 0u);
 
     ASSERT_EQ(oracle.jobs(), grid.jobCount());
     ASSERT_EQ(oracle.outcomes.size(), fast.outcomes.size());
