@@ -393,32 +393,41 @@ AccessResult
 VectorAccessUnit::execute(const AccessPlan &plan,
                           DeliveryArena *arena, BackendCache *cache,
                           TierPolicy tier, TierCounters *tiers,
-                          MapPath path, CollapseMode collapse) const
+                          MapPath path, CollapseMode collapse,
+                          ResultDetail detail) const
 {
     cfva_assert(tier != TierPolicy::AuditBoth,
                 "AuditBoth is resolved by the caller running both "
                 "tiers; execute() takes a single tier");
     if (tier == TierPolicy::TheoryFirst) {
-        if (cache) {
-            auto &tb = cache->theoryBackendFor(
-                cfg_.engine, cfg_.memConfig(), *mapping_, path,
-                collapse);
-            AccessResult r = tb.runSingleHinted(
-                plan.expectConflictFree, plan.stream, arena);
-            if (tiers)
+        // Certified plans are claimed on the planner's window
+        // theorems (O(1) under summary detail); everything else goes
+        // straight to the steady-state solver — the per-element
+        // proof would only re-derive what the windows already said.
+        const auto answer = [&](TheoryBackend &tb) {
+            AccessResult r =
+                plan.expectConflictFree
+                    ? tb.runSingleCertified(plan.stream, arena,
+                                            detail)
+                    : tb.runSingleHinted(false, plan.stream, arena,
+                                         detail);
+            if (tiers) {
                 tiers->add(tb.lastClaimed());
+                tiers->lastReason = tb.lastReason();
+            }
             return r;
+        };
+        if (cache) {
+            return answer(cache->theoryBackendFor(
+                cfg_.engine, cfg_.memConfig(), *mapping_, path,
+                collapse));
         }
         TheoryBackend tb(
             cfg_.memConfig(), *mapping_,
             makeMemoryBackend(cfg_.engine, cfg_.memConfig(),
                               *mapping_, path, collapse),
             path);
-        AccessResult r = tb.runSingleHinted(plan.expectConflictFree,
-                                            plan.stream, arena);
-        if (tiers)
-            tiers->add(tb.lastClaimed());
-        return r;
+        return answer(tb);
     }
     if (tiers)
         tiers->add(false);
@@ -437,30 +446,32 @@ MultiPortResult
 VectorAccessUnit::executePorts(
     const std::vector<std::vector<Request>> &streams,
     DeliveryArena *arena, BackendCache *cache, TierPolicy tier,
-    TierCounters *tiers, MapPath path, CollapseMode collapse) const
+    TierCounters *tiers, MapPath path, CollapseMode collapse,
+    ResultDetail detail) const
 {
     cfva_assert(tier != TierPolicy::AuditBoth,
                 "AuditBoth is resolved by the caller running both "
                 "tiers; executePorts() takes a single tier");
     if (tier == TierPolicy::TheoryFirst) {
-        if (cache) {
-            auto &tb = cache->theoryBackendFor(
-                cfg_.engine, cfg_.memConfig(), *mapping_, path,
-                collapse);
-            MultiPortResult r = tb.run(streams, arena);
-            if (tiers)
+        const auto answer = [&](TheoryBackend &tb) {
+            MultiPortResult r = tb.runPorts(streams, arena, detail);
+            if (tiers) {
                 tiers->add(tb.lastClaimed());
+                tiers->lastReason = tb.lastReason();
+            }
             return r;
+        };
+        if (cache) {
+            return answer(cache->theoryBackendFor(
+                cfg_.engine, cfg_.memConfig(), *mapping_, path,
+                collapse));
         }
         TheoryBackend tb(
             cfg_.memConfig(), *mapping_,
             makeMemoryBackend(cfg_.engine, cfg_.memConfig(),
                               *mapping_, path, collapse),
             path);
-        MultiPortResult r = tb.run(streams, arena);
-        if (tiers)
-            tiers->add(tb.lastClaimed());
-        return r;
+        return answer(tb);
     }
     if (tiers)
         tiers->add(false);

@@ -128,6 +128,14 @@ class VectorAccessUnit
      * makeMemoryBackend); results are bit-identical either way.
      * @p collapse gates the single-port periodic fast path (also
      * bit-identical; Off is the pure stepped oracle).
+     *
+     * @p detail selects how much of a theory-claimed result is
+     * materialized (see ResultDetail; simulated results are always
+     * full).  Under TheoryFirst a plan the planner certified
+     * conflict free (AccessPlan::expectConflictFree) is claimed
+     * directly from the paper's window theorems — O(1) per access
+     * when @p detail skips the deliveries — instead of being
+     * re-proved element by element.
      */
     AccessResult execute(const AccessPlan &plan,
                          DeliveryArena *arena = nullptr,
@@ -135,17 +143,19 @@ class VectorAccessUnit
                          TierPolicy tier = TierPolicy::SimulateAlways,
                          TierCounters *tiers = nullptr,
                          MapPath path = MapPath::BitSliced,
-                         CollapseMode collapse =
-                             CollapseMode::On) const;
+                         CollapseMode collapse = CollapseMode::On,
+                         ResultDetail detail =
+                             ResultDetail::Full) const;
 
     /**
      * Runs P = streams.size() simultaneous request streams through
      * the port-aware backend selected by config().engine.  The
      * engine knob is honored for every port count; the per-cycle
      * and event-driven backends produce bit-identical results.
-     * @p cache, @p tier, @p tiers, @p path as in execute(); the
-     * theory tier only claims P = 1 (multi-port schedules always
-     * simulate, and are attributed as fallbacks).
+     * @p cache, @p tier, @p tiers, @p path, @p detail as in
+     * execute(); the theory tier claims P > 1 accesses whose port
+     * streams are provably module-disjoint and falls back to the
+     * port-aware engine otherwise.
      */
     MultiPortResult
     executePorts(const std::vector<std::vector<Request>> &streams,
@@ -154,7 +164,8 @@ class VectorAccessUnit
                  TierPolicy tier = TierPolicy::SimulateAlways,
                  TierCounters *tiers = nullptr,
                  MapPath path = MapPath::BitSliced,
-                 CollapseMode collapse = CollapseMode::On) const;
+                 CollapseMode collapse = CollapseMode::On,
+                 ResultDetail detail = ResultDetail::Full) const;
 
     /** plan() + execute() in one call. */
     AccessResult access(Addr a1, const Stride &s,

@@ -35,6 +35,24 @@ to_string(TierPolicy tier)
     return "?";
 }
 
+const char *
+to_string(FallbackReason reason)
+{
+    switch (reason) {
+      case FallbackReason::None:
+        return "none";
+      case FallbackReason::Conflicted:
+        return "conflicted";
+      case FallbackReason::MultiPort:
+        return "multiport";
+      case FallbackReason::Unproven:
+        return "unproven";
+      case FallbackReason::Dynamic:
+        return "dynamic";
+    }
+    return "?";
+}
+
 std::vector<Delivery>
 DeliveryArena::acquire(std::size_t capacity)
 {

@@ -78,11 +78,74 @@ enum class TierPolicy
 
 const char *to_string(TierPolicy tier);
 
+/**
+ * How much of a claimed AccessResult the caller needs.  Simulation
+ * engines always materialize every Delivery; the analytic tier can
+ * answer in O(1) when the caller only folds aggregates (latency,
+ * stalls, conflict-free), which is what the sweep hot path does with
+ * every access whose delivery stream it would immediately release.
+ */
+enum class ResultDetail
+{
+    /** Materialize every Delivery (the library default). */
+    Full,
+
+    /** Timing aggregates only; a claimed result's deliveries stay
+     *  empty.  Fallback simulation still materializes. */
+    Summary,
+
+    /**
+     * Aggregates for uniform (conflict-free) claims — their Sec. 5F
+     * chaining costs are closed-form — but full deliveries for
+     * solver (periodic conflicted) claims, whose chained cost the
+     * caller must fold delivery by delivery.
+     */
+    SummaryIfUniform,
+};
+
+/**
+ * Why the theory tier handed an access to the simulation engine.
+ * None means the access was answered analytically (or the theory
+ * tier was not active at all).  The reason is a deterministic
+ * function of the mapping and the planned module sequence — the same
+ * inputs the scenario CanonicalKey encodes — so dedup replays and
+ * cached results carry it soundly.
+ */
+enum class FallbackReason : std::uint8_t
+{
+    /** Answered analytically, or the theory tier was inactive. */
+    None = 0,
+
+    /** The planner's windows said the stream conflicts and the
+     *  steady-state solver could not close its form (aperiodic or
+     *  too short for a recurrence). */
+    Conflicted = 1,
+
+    /** A P > 1 access whose ports share modules (or whose ports
+     *  were not all analytically answerable). */
+    MultiPort = 2,
+
+    /** The planner expected conflict freedom but neither the O(L)
+     *  proof nor the solver could establish the schedule. */
+    Unproven = 3,
+
+    /** The mapping is dynamically re-tuned; its fallbacks are
+     *  attributed to the scheme, not the stream. */
+    Dynamic = 4,
+};
+
+const char *to_string(FallbackReason reason);
+
 /** Per-run attribution of theory-tier claims vs fallbacks. */
 struct TierCounters
 {
     std::uint64_t claimed = 0;  //!< accesses answered analytically
     std::uint64_t fallback = 0; //!< accesses that simulated
+
+    /** Reason of the most recent fallback (None after a claim);
+     *  callers that need per-access taxonomy read it after each
+     *  execute. */
+    FallbackReason lastReason = FallbackReason::None;
 
     void
     add(bool wasClaimed)

@@ -32,6 +32,12 @@ materializeEmits(const EmitSummary &summary,
         d.delivered = e.delivered;
         result.deliveries.push_back(d);
     }
+    applyEmitSummary(summary, result);
+}
+
+void
+applyEmitSummary(const EmitSummary &summary, AccessResult &result)
+{
     result.firstIssue = summary.firstIssue;
     result.lastDelivery = summary.lastDelivery;
     result.stallCycles = summary.stallCycles;
@@ -444,15 +450,20 @@ bool
 tryFastPath(const MemConfig &cfg, const std::vector<Request> &stream,
             const ModuleId *mods, SteadyStateCollapser &collapser,
             OutcomeMemo &memo, FastPathStats &stats,
-            AccessResult &result)
+            AccessResult &result, bool materialize)
 {
     bool memoTried = false;
     if (stream.size() <= OutcomeMemo::kMaxLen) {
         memoTried = true;
         if (memo.lookup(stream.size(), mods, cfg.modules())) {
             ++stats.memoHits;
-            materializeEmits(memo.cachedSummary(), memo.cachedEmits(),
-                             stream, mods, result);
+            if (materialize) {
+                materializeEmits(memo.cachedSummary(),
+                                 memo.cachedEmits(), stream, mods,
+                                 result);
+            } else {
+                applyEmitSummary(memo.cachedSummary(), result);
+            }
             return true;
         }
         ++stats.memoMisses;
@@ -466,8 +477,12 @@ tryFastPath(const MemConfig &cfg, const std::vector<Request> &stream,
     if (memoTried)
         memo.store(stream.size(), collapser.emits(),
                    collapser.summary());
-    materializeEmits(collapser.summary(), collapser.emits(), stream,
-                     mods, result);
+    if (materialize) {
+        materializeEmits(collapser.summary(), collapser.emits(),
+                         stream, mods, result);
+    } else {
+        applyEmitSummary(collapser.summary(), result);
+    }
     return true;
 }
 

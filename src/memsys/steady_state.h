@@ -137,6 +137,12 @@ void materializeEmits(const EmitSummary &summary,
                       const std::vector<Request> &stream,
                       const ModuleId *mods, AccessResult &result);
 
+/** Copies only the scalar aggregates of a position-form outcome
+ *  into @p result, leaving result.deliveries untouched — the
+ *  summary-only half of materializeEmits(). */
+void applyEmitSummary(const EmitSummary &summary,
+                      AccessResult &result);
+
 /**
  * The steady-state collapse engine.  Holds only scratch state, so
  * one instance per engine serves every access; tryRun() leaves the
@@ -289,13 +295,17 @@ class OutcomeMemo
  * a memo insert on success).  Returns true with @p result filled —
  * bit-identical to the engine's stepped loop — or false with
  * @p result untouched beyond its pre-acquired delivery buffer.
- * @p stats is updated either way.
+ * @p stats is updated either way.  When @p materialize is false the
+ * deliveries are not synthesized — only the scalar aggregates are
+ * written — which is how the theory tier answers accesses whose
+ * delivery stream the caller would immediately discard.
  */
 bool tryFastPath(const MemConfig &cfg,
                  const std::vector<Request> &stream,
                  const ModuleId *mods,
                  SteadyStateCollapser &collapser, OutcomeMemo &memo,
-                 FastPathStats &stats, AccessResult &result);
+                 FastPathStats &stats, AccessResult &result,
+                 bool materialize = true);
 
 } // namespace cfva
 

@@ -16,8 +16,8 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/** The 14 measured outcome fields, in entry order. */
-constexpr std::size_t kPayloadWords = 14;
+/** The 15 measured outcome fields, in entry order. */
+constexpr std::size_t kPayloadWords = 15;
 
 void
 packOutcome(const ScenarioOutcome &o,
@@ -37,6 +37,7 @@ packOutcome(const ScenarioOutcome &o,
     payload[11] = o.theoryClaimed;
     payload[12] = o.theoryFallback;
     payload[13] = o.tierAuditDiverged ? 1 : 0;
+    payload[14] = static_cast<std::uint64_t>(o.fallbackReason);
 }
 
 void
@@ -57,6 +58,7 @@ unpackOutcome(const std::uint64_t payload[kPayloadWords],
     o.theoryClaimed = payload[11];
     o.theoryFallback = payload[12];
     o.tierAuditDiverged = payload[13] != 0;
+    o.fallbackReason = static_cast<FallbackReason>(payload[14]);
 }
 
 template <class T>

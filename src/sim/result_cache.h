@@ -43,8 +43,9 @@ class ResultCache
 {
   public:
     /** Entry-format version; bump on any layout change (old
-     *  entries then read as corrupt and re-simulate). */
-    static constexpr std::uint32_t kVersion = 1;
+     *  entries then read as corrupt and re-simulate).  v2 added
+     *  the fallback_reason payload word. */
+    static constexpr std::uint32_t kVersion = 2;
 
     /** Entry magic: "CFVR". */
     static constexpr std::uint32_t kMagic = 0x52564643u;

@@ -1,6 +1,7 @@
 #include "sim/sweep_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -87,7 +88,7 @@ SweepReport::table() const
                  "in_window", "efficiency", "accesses", "decoupled",
                  "chained", "chain_saved", "chainable", "retunes",
                  "retune_cycles", "tier", "theory_claimed",
-                 "theory_fallback"});
+                 "theory_fallback", "fallback_reason"});
     for (const auto &o : outcomes) {
         t.row(o.index, mappingLabels[o.mappingIndex], o.stride,
               o.family, o.length, o.a1, o.ports,
@@ -98,7 +99,7 @@ SweepReport::table() const
               o.accesses, o.decoupledCycles, o.chainedCycles,
               o.chainSaved(), o.chainable ? 1 : 0, o.retunes,
               o.retuneCycles, o.tierLabel(), o.theoryClaimed,
-              o.theoryFallback);
+              o.theoryFallback, to_string(o.fallbackReason));
     }
     return t;
 }
@@ -252,7 +253,24 @@ struct AccessStats
      *  SimulateAlways). */
     std::uint64_t claimed = 0;
     std::uint64_t fallback = 0;
+
+    /** Taxonomy of this access's fallback (None when claimed or
+     *  under SimulateAlways). */
+    FallbackReason reason = FallbackReason::None;
 };
+
+/** A fallback on a dynamically re-tuned mapping is attributed to
+ *  the scheme (the analysis is defeated by the re-tuning, not by
+ *  any one stream), so the taxonomy reads Dynamic regardless of
+ *  which analytic path gave up. */
+FallbackReason
+resolveReason(const VectorAccessUnit &unit, FallbackReason r)
+{
+    if (r != FallbackReason::None
+        && unit.config().kind == MemoryKind::DynamicTuned)
+        return FallbackReason::Dynamic;
+    return r;
+}
 
 /**
  * Executes one access of the workload at (@p a1, @p baseStride)
@@ -279,13 +297,23 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
     if (sc.ports <= 1) {
         AccessPlan p =
             planPortStream(grid, sc, unit, 0, a1, baseStride, arena);
-        AccessResult r =
-            unit.execute(p, arena, cache, tier, tcp, path, collapse);
+        // The sweep folds aggregates; only the captured last load
+        // feeds the chaining model, and a uniform (certified
+        // conflict-free) claim's chain costs are closed-form, so no
+        // sweep access ever needs a claimed delivery stream
+        // materialized.  Solver (periodic) claims are non-uniform:
+        // SummaryIfUniform materializes those for chainCosts().
+        const ResultDetail detail = loadOut
+                                        ? ResultDetail::SummaryIfUniform
+                                        : ResultDetail::Summary;
+        AccessResult r = unit.execute(p, arena, cache, tier, tcp,
+                                      path, collapse, detail);
         out.latency = r.latency;
         out.stalls = r.stallCycles;
         out.conflictFree = r.conflictFree;
         out.claimed = tc.claimed;
         out.fallback = tc.fallback;
+        out.reason = resolveReason(unit, tc.lastReason);
         if (arena)
             arena->releaseRequests(std::move(p.stream));
         if (loadOut) {
@@ -308,8 +336,9 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
             planPortStream(grid, sc, unit, p, a1, baseStride, arena)
                 .stream);
     }
-    MultiPortResult r = unit.executePorts(streams, arena, cache,
-                                          tier, tcp, path, collapse);
+    MultiPortResult r =
+        unit.executePorts(streams, arena, cache, tier, tcp, path,
+                          collapse, ResultDetail::Summary);
     if (arena) {
         for (auto &s : streams)
             arena->releaseRequests(std::move(s));
@@ -323,10 +352,14 @@ runWorkloadAccess(const ScenarioGrid &grid, const Scenario &sc,
     out.conflictFree = r.allConflictFree();
     out.claimed = tc.claimed;
     out.fallback = tc.fallback;
+    out.reason = resolveReason(unit, tc.lastReason);
     return out;
 }
 
-/** Folds one access into the workload-level outcome totals. */
+/** Folds one access into the workload-level outcome totals.  The
+ *  scenario's fallback reason is the first non-None access reason,
+ *  except that a dynamically re-tuned mapping overrides to Dynamic
+ *  (the caller resolves that before folding). */
 void
 foldAccess(ScenarioOutcome &out, const AccessStats &a)
 {
@@ -335,6 +368,8 @@ foldAccess(ScenarioOutcome &out, const AccessStats &a)
     out.conflictFree = out.conflictFree && a.conflictFree;
     out.theoryClaimed += a.claimed;
     out.theoryFallback += a.fallback;
+    if (out.fallbackReason == FallbackReason::None)
+        out.fallbackReason = a.reason;
 }
 
 /**
@@ -368,6 +403,19 @@ applyExecuteStep(ScenarioOutcome &out, const Scenario &sc,
                  DeliveryArena *arena)
 {
     if (sc.ports <= 1) {
+        if (lastLoad.deliveries.empty()) {
+            // Summary-claimed uniform schedule (simulation and
+            // solver claims always materialize): delivered_k =
+            // k + 1 + T, so the chained pipeline never waits after
+            // its first operand and the Sec. 5F costs close.
+            // Matches chainingModel() on the materialized stream:
+            // decoupled = (L - 1) + exec for ANY load, chained =
+            // max_k(delivered_k - k) + L + exec - loadEnd = exec.
+            out.decoupledCycles += (sc.length - 1) + wl.execLatency;
+            out.chainedCycles += wl.execLatency;
+            out.chainable = true;
+            return;
+        }
         const ChainCosts costs =
             chainCosts(lastLoad, wl.execLatency);
         out.decoupledCycles += costs.decoupled;
@@ -421,9 +469,11 @@ SweepEngine::runScenario(const ScenarioGrid &grid, const Scenario &sc,
         ScenarioOutcome cmp = thOut;
         cmp.theoryClaimed = 0;
         cmp.theoryFallback = 0;
+        cmp.fallbackReason = FallbackReason::None;
         const bool diverged = !(cmp == simOut);
         simOut.theoryClaimed = thOut.theoryClaimed;
         simOut.theoryFallback = thOut.theoryFallback;
+        simOut.fallbackReason = thOut.fallbackReason;
         simOut.tierAuditDiverged = diverged;
         if (diverged) {
             cfva_warn("tier audit divergence at job ", sc.index,
@@ -644,6 +694,10 @@ struct WorkerArena
     std::uint64_t theoryClaims = 0;
     std::uint64_t theoryFallbacks = 0;
     std::uint64_t auditDivergences = 0;
+    std::uint64_t fallbackConflicted = 0;
+    std::uint64_t fallbackMultiport = 0;
+    std::uint64_t fallbackUnproven = 0;
+    std::uint64_t fallbackDynamic = 0;
 
     const VectorAccessUnit &
     unitFor(const ScenarioGrid &grid, std::size_t mappingIndex,
@@ -946,6 +1000,10 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
     std::optional<ResultCache> cache;
     DeliveryArena keyArena;
     if (dedup) {
+        // The keying pre-pass runs sequentially before any worker
+        // starts, so its cost is invisible in the parallel-phase
+        // timings; stats report it separately.
+        const auto keyStart = std::chrono::steady_clock::now();
         std::vector<std::unique_ptr<VectorAccessUnit>> units(
             grid.mappings.size());
         WorkloadUnits keyWorkloads;
@@ -1013,6 +1071,10 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
             }
             run.dedupReplays = run.jobs - execJobs.size();
         }
+        run.dedupKeySeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - keyStart)
+                .count();
     }
 
     // With dedup active the flush delivers executed outcomes to the
@@ -1098,6 +1160,22 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
                     mine.theoryFallbacks += o.theoryFallback;
                     mine.auditDivergences +=
                         o.tierAuditDiverged ? 1 : 0;
+                    switch (o.fallbackReason) {
+                      case FallbackReason::None:
+                        break;
+                      case FallbackReason::Conflicted:
+                        ++mine.fallbackConflicted;
+                        break;
+                      case FallbackReason::MultiPort:
+                        ++mine.fallbackMultiport;
+                        break;
+                      case FallbackReason::Unproven:
+                        ++mine.fallbackUnproven;
+                        break;
+                      case FallbackReason::Dynamic:
+                        ++mine.fallbackDynamic;
+                        break;
+                    }
                 }
                 flush.push(chunk.first, std::move(buf));
                 buf = {};
@@ -1125,6 +1203,10 @@ SweepEngine::runToSink(const ScenarioGrid &grid, SweepSink &sink,
             run.theoryClaims += arena.theoryClaims;
             run.theoryFallbacks += arena.theoryFallbacks;
             run.tierAuditDivergences += arena.auditDivergences;
+            run.fallbackConflicted += arena.fallbackConflicted;
+            run.fallbackMultiport += arena.fallbackMultiport;
+            run.fallbackUnproven += arena.fallbackUnproven;
+            run.fallbackDynamic += arena.fallbackDynamic;
             run.arenaAcquires += arena.deliveries.acquires();
             run.arenaReuses += arena.deliveries.reuses();
             run.arenaPeakBytes += arena.deliveries.peakBytes();

@@ -121,6 +121,17 @@ struct ScenarioOutcome
      *  (the audit run itself exits nonzero). */
     bool tierAuditDiverged = false;
 
+    /**
+     * Why the theory tier fell back on this scenario: the first
+     * non-None reason across the workload's accesses (None when
+     * every access was claimed, and always None under
+     * SimulateAlways).  Any fallback on a dynamically re-tuned
+     * mapping reads Dynamic — the scheme, not the stream, defeats
+     * the analysis.  Deterministic per canonical class, so dedup
+     * replays and cached results carry it soundly.
+     */
+    FallbackReason fallbackReason = FallbackReason::None;
+
     /** Which tier produced this row: "theory" when the theory tier
      *  was active (it attributes every access as claimed or
      *  fallback), "sim" otherwise.  AuditBoth rows carry the
@@ -293,6 +304,23 @@ struct SweepRunStats
      *  disagreeing (cfva_sweep --tier audit exits nonzero when
      *  this is nonzero). */
     std::uint64_t tierAuditDivergences = 0;
+
+    /** Fallback taxonomy over this run's EXECUTED scenarios (dedup
+     *  replays, like the claim counters, are not re-counted):
+     *  scenarios whose first fallback was a conflicted stream, a
+     *  module-sharing multi-port access, an unproven conflict-free
+     *  expectation, or a dynamically re-tuned mapping.  All 0 when
+     *  the theory tier never fell back (or was inactive). */
+    std::uint64_t fallbackConflicted = 0;
+    std::uint64_t fallbackMultiport = 0;
+    std::uint64_t fallbackUnproven = 0;
+    std::uint64_t fallbackDynamic = 0;
+
+    /** Wall seconds the sequential dedup keying pre-pass spent
+     *  canonicalizing this run's slice (0 under DedupMode::Off) —
+     *  it runs before any worker starts, so it is invisible in the
+     *  parallel-phase timings. */
+    double dedupKeySeconds = 0.0;
 
     /** High-water mark of outcomes parked in the ordered flush
      *  queue, and the admission window that bounds it — the

@@ -29,7 +29,7 @@ CsvStreamSink::begin(const SweepContext &ctx)
            "workload,latency,min_latency,stalls,conflict_free,"
            "in_window,efficiency,accesses,decoupled,chained,"
            "chain_saved,chainable,retunes,retune_cycles,tier,"
-           "theory_claimed,theory_fallback\n";
+           "theory_claimed,theory_fallback,fallback_reason\n";
 }
 
 void
@@ -50,7 +50,8 @@ CsvStreamSink::consume(const ScenarioOutcome &o)
         << ',' << o.decoupledCycles << ',' << o.chainedCycles << ','
         << o.chainSaved() << ',' << (o.chainable ? 1 : 0) << ','
         << o.retunes << ',' << o.retuneCycles << ',' << o.tierLabel()
-        << ',' << o.theoryClaimed << ',' << o.theoryFallback << "\n";
+        << ',' << o.theoryClaimed << ',' << o.theoryFallback << ','
+        << to_string(o.fallbackReason) << "\n";
 }
 
 void
@@ -89,7 +90,9 @@ JsonStreamSink::consume(const ScenarioOutcome &o)
         << ", \"retunes\": " << o.retunes << ", \"retune_cycles\": "
         << o.retuneCycles << ", \"tier\": \"" << o.tierLabel()
         << "\", \"theory_claimed\": " << o.theoryClaimed
-        << ", \"theory_fallback\": " << o.theoryFallback << "}";
+        << ", \"theory_fallback\": " << o.theoryFallback
+        << ", \"fallback_reason\": \""
+        << to_string(o.fallbackReason) << "\"}";
 }
 
 void

@@ -1,0 +1,60 @@
+#include "theory/conflict_solver.h"
+
+#include "memsys/backend.h"
+#include "memsys/memory_system.h"
+
+namespace cfva {
+
+bool
+ConflictSolver::solve(const MemConfig &cfg,
+                      const std::vector<Request> &stream,
+                      const ModuleId *mods, DeliveryArena *arena,
+                      AccessResult &result, bool materialize)
+{
+    if (materialize) {
+        result.deliveries =
+            arena ? arena->acquire(stream.size())
+                  : std::vector<Delivery>{};
+        result.deliveries.reserve(stream.size());
+    }
+    if (tryFastPath(cfg, stream, mods, collapser_, memo_, stats_,
+                    result, materialize))
+        return true;
+    // No closed form (aperiodic sequence, too short for a
+    // recurrence, or the snapshot budget ran out).  Hand the
+    // acquired buffer back; the caller's fallback engine acquires
+    // its own.
+    if (materialize && arena)
+        arena->release(std::move(result.deliveries));
+    result.deliveries = std::vector<Delivery>{};
+    return false;
+}
+
+void
+ConflictSolver::beginPortCheck(ModuleId moduleCount)
+{
+    if (owner_.size() < moduleCount) {
+        owner_.resize(moduleCount, 0);
+        ownerEpoch_.resize(moduleCount, 0);
+    }
+    ++epoch_;
+}
+
+bool
+ConflictSolver::portDisjoint(std::size_t length,
+                             const ModuleId *mods, unsigned port)
+{
+    for (std::size_t i = 0; i < length; ++i) {
+        const ModuleId mod = mods[i];
+        if (ownerEpoch_[mod] == epoch_) {
+            if (owner_[mod] != port)
+                return false;
+            continue;
+        }
+        ownerEpoch_[mod] = epoch_;
+        owner_[mod] = port;
+    }
+    return true;
+}
+
+} // namespace cfva

@@ -1,5 +1,6 @@
 #include "theory/theory_backend.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -18,9 +19,59 @@ TheoryBackend::TheoryBackend(const MemConfig &cfg,
                 "TheoryBackend needs a simulation fallback");
 }
 
+void
+TheoryBackend::premap(const std::vector<Request> &stream,
+                      std::vector<ModuleId> &mods)
+{
+    mods.resize(stream.size());
+    slicer_.mapWith(
+        [&stream](std::size_t i) { return stream[i].addr; },
+        stream.size(), mods.data());
+}
+
+void
+TheoryBackend::summarizeUniform(std::size_t length,
+                                AccessResult &out)
+{
+    const Cycle T = cfg_.serviceCycles();
+    const Cycle L = static_cast<Cycle>(length);
+    out.firstIssue = 0;
+    out.lastDelivery = length == 0 ? 0 : L + T;
+    out.latency = length == 0 ? 0 : theory::minimumLatency(L, T);
+    out.stallCycles = 0;
+    out.conflictFree = true;
+}
+
+void
+TheoryBackend::synthesizeUniform(const std::vector<Request> &stream,
+                                 const ModuleId *mods,
+                                 DeliveryArena *arena,
+                                 AccessResult &out)
+{
+    const Cycle T = cfg_.serviceCycles();
+    const std::size_t L = stream.size();
+    out.deliveries =
+        arena ? arena->acquire(L) : std::vector<Delivery>{};
+    out.deliveries.reserve(L);
+    for (std::size_t i = 0; i < L; ++i) {
+        Delivery d;
+        d.addr = stream[i].addr;
+        d.element = stream[i].element;
+        d.module = mods[i];
+        d.issued = static_cast<Cycle>(i);
+        d.arrived = d.issued + 1;
+        d.serviceStart = d.arrived;
+        d.ready = d.serviceStart + T;
+        d.delivered = d.ready;
+        out.deliveries.push_back(d);
+    }
+    summarizeUniform(L, out);
+}
+
 bool
 TheoryBackend::tryClaim(const std::vector<Request> &stream,
-                        DeliveryArena *arena, AccessResult &out)
+                        const ModuleId *mods, DeliveryArena *arena,
+                        AccessResult &out, bool materialize)
 {
     const Cycle T = cfg_.serviceCycles();
     const std::size_t L = stream.size();
@@ -29,27 +80,19 @@ TheoryBackend::tryClaim(const std::vector<Request> &stream,
     // issued at cycle i reaches its module at i+1.  If that module
     // is still busy (nextFree > i+1) the element queues, the
     // one-request-per-cycle cadence is broken, and the closed-form
-    // schedule no longer holds — reject and simulate.  If every
-    // request finds its module free on arrival, service starts the
-    // same cycle it arrives, the module is busy for T cycles, and
-    // ready times i+1+T are strictly increasing, so the return bus
-    // delivers each element the cycle it retires and never
-    // back-pressures the modules.  Input buffers never fill either:
-    // an element bound for the same module starts service (retire +
-    // start precede issue in the cycle order) before the next one
-    // is accepted.  The schedule below is therefore exact.
-    // Premap the whole stream once (bit-sliced when the mapping
-    // exposes GF(2) rows); the proof loop, the synthesis loop, and
-    // — after a rejection — the simulation fallback all reuse it
-    // instead of each re-deriving every module number.
-    mods_.resize(L);
-    slicer_.mapWith(
-        [&stream](std::size_t i) { return stream[i].addr; }, L,
-        mods_.data());
-
+    // schedule no longer holds — reject and let the solver (or the
+    // engine) take over.  If every request finds its module free on
+    // arrival, service starts the same cycle it arrives, the module
+    // is busy for T cycles, and ready times i+1+T are strictly
+    // increasing, so the return bus delivers each element the cycle
+    // it retires and never back-pressures the modules.  Input
+    // buffers never fill either: an element bound for the same
+    // module starts service (retire + start precede issue in the
+    // cycle order) before the next one is accepted.  The schedule
+    // below is therefore exact.
     nextFree_.assign(cfg_.modules(), 0);
     for (std::size_t i = 0; i < L; ++i) {
-        const ModuleId mod = mods_[i];
+        const ModuleId mod = mods[i];
         cfva_assert(mod < cfg_.modules(),
                     "mapping produced out-of-range module");
         const Cycle arrive = static_cast<Cycle>(i) + 1;
@@ -58,52 +101,80 @@ TheoryBackend::tryClaim(const std::vector<Request> &stream,
         nextFree_[mod] = arrive + T;
     }
 
-    out.deliveries =
-        arena ? arena->acquire(L) : std::vector<Delivery>{};
-    out.deliveries.reserve(L);
-    for (std::size_t i = 0; i < L; ++i) {
-        Delivery d;
-        d.addr = stream[i].addr;
-        d.element = stream[i].element;
-        d.module = mods_[i];
-        d.issued = static_cast<Cycle>(i);
-        d.arrived = d.issued + 1;
-        d.serviceStart = d.arrived;
-        d.ready = d.serviceStart + T;
-        d.delivered = d.ready;
-        out.deliveries.push_back(d);
-    }
-    out.firstIssue = 0;
-    out.lastDelivery = L == 0 ? 0 : static_cast<Cycle>(L) + T;
-    out.latency =
-        L == 0 ? 0 : theory::minimumLatency(static_cast<Cycle>(L), T);
-    out.stallCycles = 0;
-    out.conflictFree = true;
+    if (materialize)
+        synthesizeUniform(stream, mods, arena, out);
+    else
+        summarizeUniform(L, out);
     return true;
+}
+
+bool
+TheoryBackend::answerMapped(bool attemptProof,
+                            const std::vector<Request> &stream,
+                            const ModuleId *mods,
+                            DeliveryArena *arena, AccessResult &out,
+                            ResultDetail detail)
+{
+    // An empty stream's schedule is vacuous; claim it outright so
+    // the taxonomy never blames a zero-length access on the solver.
+    if (stream.empty()) {
+        summarizeUniform(0, out);
+        return true;
+    }
+    if (attemptProof
+        && tryClaim(stream, mods, arena, out,
+                    detail == ResultDetail::Full))
+        return true;
+    // A solver (periodic) claim is non-uniform, so SummaryIfUniform
+    // materializes it: its chained cost is not closed-form for the
+    // caller.
+    return solver_.solve(cfg_, stream, mods, arena, out,
+                         detail != ResultDetail::Summary);
 }
 
 AccessResult
 TheoryBackend::runSingleHinted(bool claimHint,
                                const std::vector<Request> &stream,
-                               DeliveryArena *arena)
+                               DeliveryArena *arena,
+                               ResultDetail detail)
 {
-    if (claimHint) {
-        AccessResult out;
-        if (tryClaim(stream, arena, out)) {
-            lastClaimed_ = true;
-            stats_.add(true);
-            return out;
-        }
-        lastClaimed_ = false;
-        stats_.add(false);
-        // tryClaim premapped the stream before rejecting; hand the
-        // assignments to the engine instead of mapping twice.
-        return fallback_->runSingleMapped(stream, mods_.data(),
-                                          arena);
+    // Premap once (bit-sliced when the mapping exposes GF(2) rows);
+    // the proof, the solver, and — after a rejection — the
+    // simulation fallback all reuse it instead of each re-deriving
+    // every module number.
+    premap(stream, mods_);
+    AccessResult out;
+    if (answerMapped(claimHint, stream, mods_.data(), arena, out,
+                     detail)) {
+        lastClaimed_ = true;
+        lastReason_ = FallbackReason::None;
+        stats_.add(true);
+        return out;
     }
     lastClaimed_ = false;
+    lastReason_ = claimHint ? FallbackReason::Unproven
+                            : FallbackReason::Conflicted;
     stats_.add(false);
-    return fallback_->runSingle(stream, arena);
+    return fallback_->runSingleMapped(stream, mods_.data(), arena);
+}
+
+AccessResult
+TheoryBackend::runSingleCertified(const std::vector<Request> &stream,
+                                  DeliveryArena *arena,
+                                  ResultDetail detail)
+{
+    lastClaimed_ = true;
+    lastReason_ = FallbackReason::None;
+    stats_.add(true);
+    AccessResult out;
+    if (detail == ResultDetail::Full) {
+        // Full detail still needs each delivery's module number.
+        premap(stream, mods_);
+        synthesizeUniform(stream, mods_.data(), arena, out);
+    } else {
+        summarizeUniform(stream.size(), out);
+    }
+    return out;
 }
 
 AccessResult
@@ -113,19 +184,89 @@ TheoryBackend::runSingle(const std::vector<Request> &stream,
     return runSingleHinted(true, stream, arena);
 }
 
+bool
+TheoryBackend::tryClaimPorts(
+    const std::vector<std::vector<Request>> &streams,
+    DeliveryArena *arena, MultiPortResult &out, ResultDetail detail)
+{
+    const std::size_t P = streams.size();
+    portMods_.resize(P);
+    solver_.beginPortCheck(cfg_.modules());
+    for (std::size_t p = 0; p < P; ++p) {
+        premap(streams[p], portMods_[p]);
+        if (!solver_.portDisjoint(streams[p].size(),
+                                  portMods_[p].data(),
+                                  static_cast<unsigned>(p)))
+            return false;
+    }
+
+    // Disjoint ports never interact: every port issues one request
+    // per cycle from cycle 0, arbitration ties are only broken
+    // between requests for the SAME module, and each port has a
+    // private return bus that delivers only its own elements — so
+    // each port's trace is bit-identical to its single-port trace.
+    // Answer each port analytically; any port neither tier can
+    // close defeats the whole claim.
+    out.ports.clear();
+    out.ports.resize(P);
+    Cycle lastDelivery = 0;
+    bool any = false;
+    for (std::size_t p = 0; p < P; ++p) {
+        AccessResult &r = out.ports[p];
+        if (!answerMapped(true, streams[p], portMods_[p].data(),
+                          arena, r, detail)) {
+            if (arena) {
+                for (std::size_t q = 0; q < p; ++q)
+                    arena->release(
+                        std::move(out.ports[q].deliveries));
+            }
+            out.ports.clear();
+            return false;
+        }
+        for (Delivery &d : r.deliveries)
+            d.port = static_cast<unsigned>(p);
+        if (streams[p].size() > 0) {
+            any = true;
+            lastDelivery = std::max(lastDelivery, r.lastDelivery);
+        }
+    }
+    // Same assembly detail::assemblePortResults performs: the
+    // makespan is exclusive of the last delivery cycle, 0 when no
+    // element was delivered, and each port's conflict-free flag was
+    // already judged against its own single-stream floor.
+    out.makespan = any ? lastDelivery + 1 : 0;
+    return true;
+}
+
 MultiPortResult
-TheoryBackend::run(const std::vector<std::vector<Request>> &streams,
-                   DeliveryArena *arena)
+TheoryBackend::runPorts(
+    const std::vector<std::vector<Request>> &streams,
+    DeliveryArena *arena, ResultDetail detail)
 {
     cfva_assert(!streams.empty(), "need at least one port");
     if (streams.size() == 1)
         return detail::wrapSinglePort(
-            runSingleHinted(true, streams[0], arena));
-    // P > 1 interleaves ports on the shared modules; that schedule
-    // is not single-port-equivalent, so it always simulates.
+            runSingleHinted(true, streams[0], arena, detail));
+    MultiPortResult out;
+    if (tryClaimPorts(streams, arena, out, detail)) {
+        lastClaimed_ = true;
+        lastReason_ = FallbackReason::None;
+        stats_.add(true);
+        return out;
+    }
+    // Ports sharing modules interleave on them; that schedule is
+    // not single-port-decomposable, so it simulates.
     lastClaimed_ = false;
+    lastReason_ = FallbackReason::MultiPort;
     stats_.add(false);
     return fallback_->run(streams, arena);
+}
+
+MultiPortResult
+TheoryBackend::run(const std::vector<std::vector<Request>> &streams,
+                   DeliveryArena *arena)
+{
+    return runPorts(streams, arena, ResultDetail::Full);
 }
 
 } // namespace cfva

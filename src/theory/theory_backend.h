@@ -2,35 +2,55 @@
  * @file
  * TheoryBackend: the analytic fast path of the tiered evaluator.
  *
- * The paper's whole argument is that conflict-freedom is *provable*
- * in closed form (Theorems 1 and 3): inside a window the exact
- * outcome of an access is known without simulating a cycle —
+ * The paper's whole argument is that conflict behaviour is
+ * *analyzable* in closed form: inside a window the exact outcome of
+ * an access is known without simulating a cycle (Theorems 1 and 3 —
  * latency = theory::minimumLatency(L, T), zero stalls, one delivery
- * per cycle in issue order.  This backend turns that into an
- * executable tier: it verifies a claim of conflict-freedom for a
- * request stream in one O(L) pass over per-module next-free times
- * and, when the proof goes through, synthesizes the exact
- * AccessResult the simulation engines would produce — timestamps
- * and all — directly from the timing contract (request issued at
- * cycle i arrives at i+1, starts service immediately, retires and
- * crosses the return bus at i+1+T).  Streams the proof rejects are
- * delegated untouched to a wrapped simulation engine, so callers
- * always get an answer and claimed answers are bit-identical to
- * simulation by construction (tests/test_theory_backend.cc audits
- * this across a randomized grid; TierPolicy::AuditBoth audits it on
- * every sweep scenario it runs).
+ * per cycle in issue order), and outside it the conflict pattern is
+ * exactly periodic, so the steady-state schedule is closed-form too.
+ * This backend turns both halves into an executable tier:
+ *
+ *  - Conflict-free claims: for planner-certified streams
+ *    (AccessPlan::expectConflictFree — the paper's window theorems)
+ *    the uniform schedule is claimed directly, O(1) per access under
+ *    ResultDetail::Summary; for uncertified streams a one-pass O(L)
+ *    proof over per-module next-free times re-establishes it.
+ *    Either way the exact AccessResult the simulation engines would
+ *    produce is synthesized from the timing contract (request issued
+ *    at cycle i arrives at i+1, starts service immediately, retires
+ *    and crosses the return bus at i+1+T).
+ *  - Conflicted claims: theory/conflict_solver.h establishes the
+ *    O(period) transient, extrapolates the periodic steady state,
+ *    and memoizes the proof per rank-canonicalized module sequence —
+ *    the per-worker BackendCache keeps this backend (and the memo)
+ *    alive across a sweep, so repeated workload accesses stop
+ *    re-proving the same claim.
+ *  - Multi-port claims: when the P > 1 port streams are provably
+ *    disjoint across modules, the ports never interact and the
+ *    MultiPortResult is synthesized from P independent single-port
+ *    answers; ports that share modules (or defeat the solver) fall
+ *    back to the port-aware engine.
+ *
+ * Streams no tier can answer are delegated untouched to a wrapped
+ * simulation engine, so callers always get an answer and claimed
+ * answers are bit-identical to simulation by construction
+ * (tests/test_theory_backend.cc and tests/test_conflict_solver.cc
+ * audit this across randomized grids; TierPolicy::AuditBoth audits
+ * it on every sweep scenario it runs).  Every fallback is
+ * attributed a FallbackReason; claim/fallback attribution is a
+ * deterministic function of (config, mapping, planned streams) —
+ * never of memo state — which is what keeps the attribution columns
+ * sound under scenario dedup and result caching.
  *
  * The window classification itself (mapping kind + stride family
  * against matchedWindow / sectionedWindows / ...) lives in the
  * planner: VectorAccessUnit::plan sets AccessPlan::expectConflictFree
- * from exactly those windows, and execute() passes it down as the
- * claim hint — streams the theory does not cover skip the O(L)
- * proof attempt and go straight to the engine.
- *
- * Claims are restricted to single-port-equivalent accesses: a P = 1
- * multi-port run is lifted through detail::wrapSinglePort exactly
- * like the simulation backends lift theirs, and P > 1 always falls
- * back (inter-port bus arbitration is not a closed-form story).
+ * from exactly those windows.  execute() dispatches on it: certified
+ * streams take runSingleCertified (theorem-backed O(1) claim),
+ * everything else goes straight to the steady-state solver.  The
+ * hinted entry point keeps the historical semantics for library
+ * callers: the hint gates only the O(L) conflict-free proof; the
+ * solver is attempted either way.
  */
 
 #ifndef CFVA_THEORY_THEORY_BACKEND_H
@@ -41,15 +61,17 @@
 #include <vector>
 
 #include "memsys/backend.h"
+#include "theory/conflict_solver.h"
 
 namespace cfva {
 
 /**
- * MemoryBackend that answers provably conflict-free streams
- * analytically and delegates everything else to a wrapped
- * simulation engine.  Like the engines it wraps, it is stateless
- * across run() calls and cacheable per (engine, config, mapping);
- * the mapping must outlive the backend.
+ * MemoryBackend that answers provably conflict-free, periodic
+ * conflicted, and module-disjoint multi-port streams analytically
+ * and delegates everything else to a wrapped simulation engine.
+ * Like the engines it wraps, it is reusable across run() calls and
+ * cacheable per (engine, config, mapping); the mapping must outlive
+ * the backend.
  */
 class TheoryBackend final : public MemoryBackend
 {
@@ -76,57 +98,136 @@ class TheoryBackend final : public MemoryBackend
 
     /**
      * runSingle with the planner's window classification: when
-     * @p claimHint is false the O(L) proof is skipped and the
-     * stream simulates directly (the windows already say it
-     * conflicts); when true the claim is attempted.  The plain
-     * runSingle() always attempts.
+     * @p claimHint is false the O(L) conflict-free proof is skipped
+     * (the windows already say it conflicts) and the stream goes
+     * straight to the steady-state solver; when true the proof is
+     * attempted first.  The plain runSingle() always attempts both.
+     * @p detail selects how much of a claimed result is
+     * materialized (fallback simulation always materializes).
      */
     AccessResult
     runSingleHinted(bool claimHint,
                     const std::vector<Request> &stream,
-                    DeliveryArena *arena = nullptr);
+                    DeliveryArena *arena = nullptr,
+                    ResultDetail detail = ResultDetail::Full);
+
+    /**
+     * runSingle for a stream the planner CERTIFIED conflict free
+     * (AccessPlan::expectConflictFree): the paper's theorems — not a
+     * per-access replay — are the proof, so the uniform schedule
+     * (element i issues at cycle i, delivers at i+1+T) is claimed
+     * directly.  Under ResultDetail::Summary that is O(1) per
+     * access: no premap, no proof walk, no delivery synthesis.  The
+     * certification chain stays honest three ways: the windows
+     * behind expectConflictFree are property-tested against the
+     * stepped oracle (tests/test_conflict_solver.cc certified-plan
+     * suite), --tier audit re-simulates every claimed scenario on
+     * demand, and the plain hinted/proof path remains available to
+     * any caller that wants the per-access verification.
+     */
+    AccessResult
+    runSingleCertified(const std::vector<Request> &stream,
+                       DeliveryArena *arena = nullptr,
+                       ResultDetail detail = ResultDetail::Full);
+
+    /** run() with a claimed-result detail knob (the virtual run()
+     *  is runPorts with ResultDetail::Full). */
+    MultiPortResult
+    runPorts(const std::vector<std::vector<Request>> &streams,
+             DeliveryArena *arena, ResultDetail detail);
 
     /** True iff the most recent run()/runSingle() was answered
      *  analytically. */
     bool lastClaimed() const { return lastClaimed_; }
 
+    /** Why the most recent run()/runSingle() fell back (None after
+     *  a claim). */
+    FallbackReason lastReason() const { return lastReason_; }
+
     /** Cumulative claim/fallback counts over this instance. */
     const TierCounters &stats() const { return stats_; }
 
-    /** The fallback engine's collapse/memo counters — the theory
-     *  tier's conflicted residue is exactly what the periodic fast
-     *  path attacks, so attribution is forwarded untouched. */
+    /**
+     * Collapse/memo attribution: the solver's own proofs plus the
+     * fallback engine's fast path — the conflicted residue either
+     * tier attacks with the same machinery, so the counters merge.
+     */
     FastPathStats
     fastPathStats() const override
     {
-        return fallback_->fastPathStats();
+        FastPathStats fp = solver_.stats();
+        fp += fallback_->fastPathStats();
+        return fp;
     }
 
     /** The wrapped simulation engine (for diagnostics). */
     MemoryBackend &fallback() { return *fallback_; }
 
   private:
+    /** Premaps @p stream into @p mods (bit-sliced for linear
+     *  mappings). */
+    void premap(const std::vector<Request> &stream,
+                std::vector<ModuleId> &mods);
+
     /**
-     * The O(L) claim proof + synthesis: premaps the whole stream
-     * (bit-sliced for linear mappings, once — the proof, the
-     * synthesis, and a fallback after rejection all reuse it), then
-     * walks it tracking each module's next-free cycle; if every
-     * request finds its module free on arrival the conflict-free
-     * schedule is exact and @p out is filled with the synthesized
-     * result.  Returns false (leaving @p out untouched beyond
-     * scratch) when any request would queue.
+     * The O(L) conflict-free claim proof + synthesis over an
+     * already premapped stream: walks @p mods tracking each
+     * module's next-free cycle; if every request finds its module
+     * free on arrival the conflict-free schedule is exact and
+     * @p out is filled with the synthesized result (aggregates only
+     * when @p materialize is false).  Returns false (leaving @p out
+     * untouched) when any request would queue.
      */
     bool tryClaim(const std::vector<Request> &stream,
-                  DeliveryArena *arena, AccessResult &out);
+                  const ModuleId *mods, DeliveryArena *arena,
+                  AccessResult &out, bool materialize);
+
+    /** Fills @p out with the uniform conflict-free schedule's
+     *  scalar aggregates for a length-@p length stream — the O(1)
+     *  half of tryClaim's synthesis. */
+    void summarizeUniform(std::size_t length, AccessResult &out);
+
+    /** Materializes the uniform conflict-free schedule's delivery
+     *  records on top of summarizeUniform(). */
+    void synthesizeUniform(const std::vector<Request> &stream,
+                           const ModuleId *mods,
+                           DeliveryArena *arena, AccessResult &out);
+
+    /**
+     * One port's full analytic story: the conflict-free proof when
+     * @p attemptProof, then the steady-state solver.  True iff one
+     * of them filled @p out at the requested detail.
+     */
+    bool answerMapped(bool attemptProof,
+                      const std::vector<Request> &stream,
+                      const ModuleId *mods, DeliveryArena *arena,
+                      AccessResult &out, ResultDetail detail);
+
+    /**
+     * The multi-port claim: premaps every port, proves pairwise
+     * module-disjointness, and — since disjoint ports never
+     * interact — synthesizes the MultiPortResult from P independent
+     * single-port answers (port ids patched, makespan assembled
+     * exactly as detail::assemblePortResults would).  False when
+     * any two ports share a module or any port defeats both
+     * analytic paths.
+     */
+    bool tryClaimPorts(
+        const std::vector<std::vector<Request>> &streams,
+        DeliveryArena *arena, MultiPortResult &out,
+        ResultDetail detail);
 
     MemConfig cfg_;
     const ModuleMapping &map_;
     BitSlicedMapper slicer_;
     std::unique_ptr<MemoryBackend> fallback_;
+    ConflictSolver solver_;
     std::vector<Cycle> nextFree_; // per-module scratch
     std::vector<ModuleId> mods_;  // premap scratch, reused per run
+    std::vector<std::vector<ModuleId>> portMods_; // P > 1 premaps
     TierCounters stats_;
     bool lastClaimed_ = false;
+    FallbackReason lastReason_ = FallbackReason::None;
 };
 
 } // namespace cfva

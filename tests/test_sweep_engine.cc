@@ -204,7 +204,7 @@ TEST(SweepEngine, ReportAggregatesAreConsistent)
     EXPECT_EQ(jobs, report.jobs());
 
     EXPECT_EQ(report.table().rows(), report.jobs());
-    EXPECT_EQ(report.table().columns(), 25u);
+    EXPECT_EQ(report.table().columns(), 26u);
 }
 
 TEST(SweepEngine, RejectsInvalidGrids)

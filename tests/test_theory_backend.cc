@@ -77,40 +77,66 @@ TEST(TheoryBackend, ClaimedStreamIsBitIdenticalToSimulation)
     }
 }
 
-TEST(TheoryBackend, ConflictedStreamFallsBack)
+TEST(TheoryBackend, ConflictedStreamIsSolvedAnalytically)
 {
     const VectorAccessUnit unit(matchedConfig());
     // Family 6 is outside the matched window [0, s=4]: the
-    // canonical-order stream conflicts and the claim must refuse.
+    // canonical-order stream conflicts, so the O(L) proof refuses —
+    // but the conflict pattern is exactly periodic, and the
+    // steady-state solver must close its form and claim it.
     const AccessPlan plan = unit.plan(0, Stride(64), 64);
     ASSERT_FALSE(plan.expectConflictFree);
 
     TheoryBackend tb = theoryOver(unit, EngineKind::EventDriven);
     const AccessResult viaTier = tb.runSingle(plan.stream);
-    EXPECT_FALSE(tb.lastClaimed());
-    EXPECT_EQ(tb.stats().claimed, 0u);
-    EXPECT_EQ(tb.stats().fallback, 1u);
+    EXPECT_TRUE(tb.lastClaimed());
+    EXPECT_EQ(tb.lastReason(), FallbackReason::None);
+    EXPECT_EQ(tb.stats().claimed, 1u);
+    EXPECT_EQ(tb.stats().fallback, 0u);
 
     const AccessResult simulated =
         tb.fallback().runSingle(plan.stream);
     EXPECT_EQ(viaTier, simulated);
     EXPECT_FALSE(viaTier.conflictFree);
+    EXPECT_GT(viaTier.stallCycles, 0u);
 }
 
-TEST(TheoryBackend, HintFalseSkipsTheClaim)
+TEST(TheoryBackend, HintFalseSkipsTheProofButNotTheSolver)
 {
     const VectorAccessUnit unit(matchedConfig());
     const AccessPlan plan = unit.plan(0, Stride(1), 64);
     TheoryBackend tb = theoryOver(unit, EngineKind::EventDriven);
 
-    // Even a provably conflict-free stream simulates when the
-    // planner's window classification says it won't be — the hint
-    // gates the O(L) proof attempt.
+    // The hint gates only the O(L) conflict-free proof; the
+    // steady-state solver still runs, and a periodic stream —
+    // conflict free or not — is claimed with the bit-identical
+    // schedule.
     const AccessResult hinted =
         tb.runSingleHinted(false, plan.stream);
-    EXPECT_FALSE(tb.lastClaimed());
-    EXPECT_EQ(tb.stats().fallback, 1u);
+    EXPECT_TRUE(tb.lastClaimed());
+    EXPECT_EQ(tb.stats().claimed, 1u);
     EXPECT_EQ(hinted, tb.fallback().runSingle(plan.stream));
+    EXPECT_TRUE(hinted.conflictFree);
+}
+
+TEST(TheoryBackend, AperiodicConflictedStreamFallsBack)
+{
+    VectorUnitConfig cfg = matchedConfig();
+    cfg.kind = MemoryKind::PseudoRandom;
+    const VectorAccessUnit unit(cfg);
+    // A pseudo-random mapping's module sequence has no short
+    // period, so neither the proof nor the solver can close a
+    // conflicted stream's form: it must simulate, and the taxonomy
+    // must say why.
+    const AccessPlan plan = unit.plan(0, Stride(3), 64);
+    TheoryBackend tb = theoryOver(unit, EngineKind::EventDriven);
+    const AccessResult viaTier =
+        tb.runSingleHinted(false, plan.stream);
+    if (!tb.lastClaimed()) {
+        EXPECT_EQ(tb.lastReason(), FallbackReason::Conflicted);
+        EXPECT_EQ(tb.stats().fallback, 1u);
+    }
+    EXPECT_EQ(viaTier, tb.fallback().runSingle(plan.stream));
 }
 
 TEST(TheoryBackend, EmptyStreamIsClaimedTrivially)
@@ -138,18 +164,59 @@ TEST(TheoryBackend, SinglePortRunLiftsLikeTheEngines)
     EXPECT_TRUE(lifted.ports[0].conflictFree);
 }
 
-TEST(TheoryBackend, MultiPortAlwaysFallsBack)
+TEST(TheoryBackend, MultiPortSharedModulesFallBack)
 {
     const VectorAccessUnit unit(matchedConfig());
     const AccessPlan plan = unit.plan(0, Stride(1), 64);
     TheoryBackend tb = theoryOver(unit, EngineKind::EventDriven);
 
+    // Two ports issuing the same stream contend for every module:
+    // the schedule is not single-port-decomposable and simulates.
     const std::vector<std::vector<Request>> streams = {plan.stream,
                                                        plan.stream};
     const MultiPortResult viaTier = tb.run(streams);
     EXPECT_FALSE(tb.lastClaimed());
+    EXPECT_EQ(tb.lastReason(), FallbackReason::MultiPort);
     EXPECT_EQ(tb.stats().fallback, 1u);
     EXPECT_EQ(viaTier, tb.fallback().run(streams));
+}
+
+TEST(TheoryBackend, MultiPortDisjointPortsAreClaimed)
+{
+    const VectorAccessUnit unit(matchedConfig());
+    // Family 6 confines each port to a single module; pick a second
+    // base landing on a different module, so the ports are provably
+    // disjoint and the claim decomposes into two single-port
+    // answers.
+    const AccessPlan p0 = unit.plan(0, Stride(64), 32);
+    const ModuleId mod0 = unit.mapping().moduleOf(p0.stream[0].addr);
+    AccessPlan p1 = unit.plan(0, Stride(64), 32);
+    bool found = false;
+    for (Addr base = 1; base < 4096 && !found; ++base) {
+        p1 = unit.plan(base, Stride(64), 32);
+        found = true;
+        for (const Request &r : p1.stream) {
+            if (unit.mapping().moduleOf(r.addr) == mod0) {
+                found = false;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(found) << "no disjoint base below 4096";
+
+    TheoryBackend tb = theoryOver(unit, EngineKind::EventDriven);
+    const std::vector<std::vector<Request>> streams = {p0.stream,
+                                                       p1.stream};
+    const MultiPortResult viaTier = tb.run(streams);
+    EXPECT_TRUE(tb.lastClaimed());
+    EXPECT_EQ(tb.lastReason(), FallbackReason::None);
+    EXPECT_EQ(tb.stats().claimed, 1u);
+    EXPECT_EQ(viaTier, tb.fallback().run(streams));
+    ASSERT_EQ(viaTier.ports.size(), 2u);
+    for (unsigned p = 0; p < 2; ++p) {
+        for (const Delivery &d : viaTier.ports[p].deliveries)
+            EXPECT_EQ(d.port, p);
+    }
 }
 
 TEST(TheoryBackend, CacheKeepsTiersSeparate)
@@ -340,6 +407,7 @@ TEST(TheoryBackendAudit, TierChangesOnlyAttributionColumns)
         EXPECT_EQ(normalized.tierLabel(), std::string("theory"));
         normalized.theoryClaimed = 0;
         normalized.theoryFallback = 0;
+        normalized.fallbackReason = FallbackReason::None;
         EXPECT_EQ(normalized, simulated.outcomes[i])
             << "job " << i << " differs beyond tier attribution";
     }

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <limits>
 #include <optional>
@@ -85,6 +86,16 @@ usage(std::ostream &os)
           "                     (negative = descending access), '/'\n"
           "                     separates mixes (default 1 = every\n"
           "                     port clones the base stride)\n"
+          "  --port-stagger N   address distance between\n"
+          "                     simultaneous port streams (default\n"
+          "                     1048576).  The default lands far\n"
+          "                     outside every mapping's folded\n"
+          "                     address field, so staggered ports\n"
+          "                     share modules; a small stagger\n"
+          "                     (e.g. the module distance 2^t)\n"
+          "                     separates out-of-window streams\n"
+          "                     into disjoint modules, which the\n"
+          "                     theory tier claims analytically\n"
           "  --seed S           seed for random starts\n"
           "\n"
           "Execution and output:\n"
@@ -147,6 +158,12 @@ usage(std::ostream &os)
           "  --no-summary       skip the summary table\n"
           "  --bench T1,T2,...  time the grid at each thread count\n"
           "                     (x each engine with --engine both)\n"
+          "  --bench-reps N     timed repetitions per --bench row\n"
+          "                     (default 0 = adaptive: at least 3\n"
+          "                     reps and 0.25 s of cumulative wall\n"
+          "                     time, at most 15); every row\n"
+          "                     reports the median rep and records\n"
+          "                     the rep count in BENCH_sweep.json\n"
           "  --bench-json FILE  machine-readable --bench results\n"
           "                     (default BENCH_sweep.json; 'none'\n"
           "                     disables)\n"
@@ -359,6 +376,7 @@ struct Options
     unsigned randomStarts = 3;
     std::vector<std::uint64_t> ports = {1};
     std::vector<sim::PortMix> portMixes = {sim::PortMix{}};
+    Addr portStagger = Addr{1} << 20;
     std::vector<std::string> workloadNames = {"single"};
     std::uint64_t execLatency = 1;
     unsigned retunePeriod = 1;
@@ -378,6 +396,7 @@ struct Options
     std::string jsonPath;
     bool summary = true;
     std::vector<std::uint64_t> benchThreads;
+    unsigned benchReps = 0; // 0 = adaptive
     std::string benchJsonPath = "BENCH_sweep.json";
 };
 
@@ -427,6 +446,11 @@ parseArgs(int argc, char **argv)
         } else if (a == "--port-mix") {
             o.portMixes = sim::parsePortMixFlag(
                 "--port-mix", need(i, "--port-mix"));
+        } else if (a == "--port-stagger") {
+            o.portStagger = parseU64(need(i, "--port-stagger"),
+                                     "--port-stagger");
+            if (o.portStagger == 0)
+                cfva_fatal("--port-stagger must be >= 1");
         } else if (a == "--workloads") {
             o.workloadNames = sim::splitFlagList(
                 "--workloads", need(i, "--workloads"));
@@ -465,6 +489,9 @@ parseArgs(int argc, char **argv)
             o.shard = parseShard(need(i, "--shard"));
         } else if (a == "--stream") {
             o.stream = true;
+        } else if (a == "--bench-reps") {
+            o.benchReps = parseU32(need(i, "--bench-reps"),
+                                   "--bench-reps");
         } else if (a == "--bench-json") {
             o.benchJsonPath = need(i, "--bench-json");
         } else if (a == "--csv") {
@@ -556,6 +583,7 @@ buildGrid(const Options &o)
         grid.ports.push_back(static_cast<unsigned>(p));
     }
     grid.portMixes = o.portMixes;
+    grid.portStagger = o.portStagger;
     grid.workloads.clear();
     for (const auto &name : o.workloadNames) {
         sim::Workload wl;
@@ -596,6 +624,12 @@ printTierStats(std::ostream &info, TierPolicy tier,
                         : 0.0,
                   1)
          << "% of accesses answered analytically)\n";
+    info << "fallback taxonomy: " << stats.fallbackConflicted
+         << " conflicted, " << stats.fallbackMultiport
+         << " multiport, " << stats.fallbackUnproven
+         << " unproven, " << stats.fallbackDynamic
+         << " dynamic (executed scenarios with any simulated "
+            "access)\n";
     if (tier == TierPolicy::AuditBoth) {
         info << (stats.tierAuditDivergences
                      ? "TIER AUDIT DIVERGENCE"
@@ -639,7 +673,10 @@ printDedupStats(std::ostream &info, sim::DedupMode dedup,
                                              : "identical, ")
              << stats.dedupAuditDivergences << " divergences";
     }
-    info << ")\n";
+    // The keying pre-pass is the sequential part of a dedup run;
+    // reporting it keeps Amdahl's law honest as workers scale.
+    info << ", keyed in " << fixed(stats.dedupKeySeconds * 1e3, 3)
+         << " ms)\n";
     if (!cacheDir.empty() && dedup == sim::DedupMode::On) {
         info << "result cache: " << stats.cacheHits << " hits / "
              << stats.cacheMisses << " misses, "
@@ -658,6 +695,67 @@ timedRun(const sim::SweepEngine &engine,
     return std::chrono::duration<double>(stop - start).count();
 }
 
+/**
+ * Times one --bench leg over repeated runs and keeps the
+ * median-time rep's report and stats.  @p benchReps fixes the rep
+ * count; 0 repeats adaptively — at least kMinReps reps, continuing
+ * until kMinWallSeconds of cumulative wall time or kMaxReps, so
+ * sub-millisecond legs still get a stable median without slow legs
+ * paying 15x.  @p prep runs before every timed rep (cold-cache
+ * legs wipe their directory there, so each rep really is cold).
+ */
+struct RepTiming
+{
+    double seconds = 0.0; //!< the median rep's wall time
+    unsigned reps = 0;    //!< timed reps behind the median
+};
+
+RepTiming
+timedReps(const sim::SweepOptions &opts,
+          const sim::ScenarioGrid &grid, unsigned benchReps,
+          const std::function<void()> &prep,
+          sim::SweepReport &report, sim::SweepRunStats &stats)
+{
+    constexpr unsigned kMinReps = 3;
+    constexpr unsigned kMaxReps = 15;
+    constexpr double kMinWallSeconds = 0.25;
+    std::vector<double> times;
+    std::vector<sim::SweepReport> reports;
+    std::vector<sim::SweepRunStats> allStats;
+    double total = 0.0;
+    for (unsigned rep = 0;; ++rep) {
+        if (benchReps) {
+            if (rep >= benchReps)
+                break;
+        } else if (rep >= kMinReps
+                   && (total >= kMinWallSeconds
+                       || rep >= kMaxReps)) {
+            break;
+        }
+        if (prep)
+            prep();
+        sim::SweepReport r;
+        sim::SweepRunStats s;
+        const double secs =
+            timedRun(sim::SweepEngine(opts), grid, r, &s);
+        total += secs;
+        times.push_back(secs);
+        reports.push_back(std::move(r));
+        allStats.push_back(s);
+    }
+    std::vector<std::size_t> order(times.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return times[a] < times[b];
+              });
+    const std::size_t mid = order[(order.size() - 1) / 2];
+    report = std::move(reports[mid]);
+    stats = allStats[mid];
+    return {times[mid], static_cast<unsigned>(times.size())};
+}
+
 /** One timed --bench row, kept for the BENCH_sweep.json emission. */
 struct BenchRun
 {
@@ -667,6 +765,7 @@ struct BenchRun
     sim::DedupMode dedup = sim::DedupMode::Off;
     std::string cache = "none"; // none | cold | warm
     std::uint64_t threads = 0;
+    unsigned reps = 0;
     double seconds = 0.0;
     double scenariosPerSec = 0.0;
     double speedup = 0.0;
@@ -684,6 +783,7 @@ struct WorkloadBenchRun
     CollapseMode collapse = CollapseMode::On;
     sim::DedupMode dedup = sim::DedupMode::Off;
     std::size_t jobs = 0;
+    unsigned reps = 0;
     double seconds = 0.0;
     double scenariosPerSec = 0.0;
 };
@@ -717,7 +817,8 @@ writeBenchJson(const std::string &path, const Options &o,
             << to_string(r.collapse) << "\", \"dedup\": \""
             << to_string(r.dedup) << "\", \"cache\": \"" << r.cache
             << "\", \"threads\": "
-            << r.threads << ", \"seconds\": " << fixed(r.seconds, 6)
+            << r.threads << ", \"reps\": " << r.reps
+            << ", \"seconds\": " << fixed(r.seconds, 6)
             << ", \"scenarios_per_s\": "
             << fixed(r.scenariosPerSec, 0) << ", \"speedup\": "
             << fixed(r.speedup, 3) << ", \"effective_grain\": "
@@ -731,8 +832,18 @@ writeBenchJson(const std::string &path, const Options &o,
             << ", \"cache_hits\": " << r.stats.cacheHits
             << ", \"cache_misses\": " << r.stats.cacheMisses
             << ", \"cache_corrupt\": " << r.stats.cacheCorrupt
+            << ", \"dedup_key_seconds\": "
+            << fixed(r.stats.dedupKeySeconds, 6)
             << ", \"theory_claimed\": " << r.stats.theoryClaims
             << ", \"theory_fallback\": " << r.stats.theoryFallbacks
+            << ", \"fallback_conflicted\": "
+            << r.stats.fallbackConflicted
+            << ", \"fallback_multiport\": "
+            << r.stats.fallbackMultiport
+            << ", \"fallback_unproven\": "
+            << r.stats.fallbackUnproven
+            << ", \"fallback_dynamic\": "
+            << r.stats.fallbackDynamic
             << ", \"tier_audit_divergences\": "
             << r.stats.tierAuditDivergences
             << ", \"collapse_hits\": " << r.stats.collapseHits
@@ -755,6 +866,7 @@ writeBenchJson(const std::string &path, const Options &o,
             << "\", \"collapse\": \"" << to_string(w.collapse)
             << "\", \"dedup\": \"" << to_string(w.dedup)
             << "\", \"jobs\": " << w.jobs
+            << ", \"reps\": " << w.reps
             << ", \"seconds\": " << fixed(w.seconds, 6)
             << ", \"scenarios_per_s\": "
             << fixed(w.scenariosPerSec, 0) << "}";
@@ -816,7 +928,7 @@ main(int argc, char **argv)
 
     if (!o.benchThreads.empty()) {
         TextTable t({"engine", "tier", "collapse", "dedup", "cache",
-                     "threads", "seconds", "scenarios/s",
+                     "threads", "reps", "seconds", "scenarios/s",
                      "speedup"});
         // Under --tier theory the bench times the simulation
         // baseline too — with the collapse fast path off (the pure
@@ -918,6 +1030,7 @@ main(int argc, char **argv)
             for (auto &outcome : r.outcomes) {
                 outcome.theoryClaimed = 0;
                 outcome.theoryFallback = 0;
+                outcome.fallbackReason = FallbackReason::None;
             }
             return r;
         };
@@ -935,18 +1048,24 @@ main(int argc, char **argv)
                     opts.mapPath = o.mapPath;
                     opts.collapse = leg.collapse;
                     opts.dedup = leg.dedup;
+                    std::function<void()> prep;
                     if (std::strcmp(leg.cache, "none") != 0) {
                         if (std::strcmp(leg.cache, "cold") == 0) {
-                            fs::remove_all(benchCache);
-                            fs::create_directories(benchCache);
+                            // Wiped before EVERY timed rep, so the
+                            // median really measures a cold start.
+                            prep = [&benchCache] {
+                                fs::remove_all(benchCache);
+                                fs::create_directories(benchCache);
+                            };
                         }
                         opts.cacheDir = benchCache.string();
                     }
                     sim::SweepReport report;
                     sim::SweepRunStats stats;
-                    const double secs = timedRun(
-                        sim::SweepEngine(opts), grid, report,
-                        &stats);
+                    const RepTiming timing =
+                        timedReps(opts, grid, o.benchReps, prep,
+                                  report, stats);
+                    const double secs = timing.seconds;
                     if (!haveBase) {
                         base = secs;
                         first = report;
@@ -963,6 +1082,7 @@ main(int argc, char **argv)
                     row.dedup = leg.dedup;
                     row.cache = leg.cache;
                     row.threads = threads;
+                    row.reps = timing.reps;
                     row.seconds = secs;
                     row.scenariosPerSec =
                         static_cast<double>(report.jobs()) / secs;
@@ -972,7 +1092,7 @@ main(int argc, char **argv)
                     t.row(to_string(engine), to_string(leg.tier),
                           to_string(leg.collapse),
                           to_string(leg.dedup), leg.cache, threads,
-                          fixed(secs, 3),
+                          timing.reps, fixed(secs, 3),
                           fixed(row.scenariosPerSec, 0),
                           fixed(row.speedup, 2));
                 }
@@ -992,7 +1112,8 @@ main(int argc, char **argv)
         std::vector<WorkloadBenchRun> workloadRuns;
         {
             TextTable wt({"workload", "tier", "collapse", "dedup",
-                          "jobs", "seconds", "scenarios/s"});
+                          "jobs", "reps", "seconds",
+                          "scenarios/s"});
             // The committed BENCH artifact should track every
             // workload program even when the grid itself runs only
             // the default single-access job: widen the bench-only
@@ -1045,6 +1166,7 @@ main(int argc, char **argv)
                     }
                     if (reuse) {
                         row.jobs = first.jobs();
+                        row.reps = reuse->reps;
                         row.seconds = reuse->seconds;
                         row.scenariosPerSec = reuse->scenariosPerSec;
                     } else {
@@ -1061,8 +1183,11 @@ main(int argc, char **argv)
                         opts.collapse = leg.collapse;
                         opts.dedup = leg.dedup;
                         sim::SweepReport r;
-                        row.seconds =
-                            timedRun(sim::SweepEngine(opts), sub, r);
+                        sim::SweepRunStats s;
+                        const RepTiming timing = timedReps(
+                            opts, sub, o.benchReps, nullptr, r, s);
+                        row.reps = timing.reps;
+                        row.seconds = timing.seconds;
                         row.jobs = r.jobs();
                         row.scenariosPerSec =
                             static_cast<double>(r.jobs())
@@ -1071,7 +1196,7 @@ main(int argc, char **argv)
                     workloadRuns.push_back(row);
                     wt.row(row.label, to_string(row.tier),
                            to_string(row.collapse),
-                           to_string(row.dedup), row.jobs,
+                           to_string(row.dedup), row.jobs, row.reps,
                            fixed(row.seconds, 3),
                            fixed(row.scenariosPerSec, 0));
                 }
